@@ -1,0 +1,173 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every file in this directory regenerates one table or figure of the
+paper's Section 6 (see DESIGN.md for the index). Conventions:
+
+* each (system, x-value) combination is one pytest-benchmark case, run
+  exactly once (``benchmark.pedantic(rounds=1)``) — the timing feeds the
+  efficiency figures, the repair quality feeds the effectiveness ones;
+* workloads are cached per condition so every system sees the identical
+  dirty instance;
+* at session end, each figure's series is rendered as a text table and
+  written to ``benchmarks/results/<figure>.txt`` (and echoed to stdout),
+  giving the same rows/series the paper plots.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``smoke`` (default) — minutes on a laptop; hundreds of tuples;
+* ``paper`` — thousands of tuples, closer to the paper's x-axes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.eval.reporting import format_by_system, format_series
+from repro.eval.runner import Trial, TrialResult, build_system
+from repro.eval.metrics import evaluate_repair
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+#: x-axes per scale
+if SCALE == "paper":
+    TUPLE_SIZES = [2000, 4000, 8000]
+    FD_COUNTS = [1, 3, 5, 7, 9]
+    ERROR_RATES = [0.02, 0.04, 0.06, 0.08, 0.10]
+    BASE_N = 2000
+else:
+    TUPLE_SIZES = [200, 400, 800]
+    FD_COUNTS = [1, 3, 5, 7, 9]
+    ERROR_RATES = [0.02, 0.04, 0.06, 0.08, 0.10]
+    BASE_N = 400
+
+#: the scalable systems used for the full figure sweeps (the exact
+#: algorithms are exercised by dedicated small-instance benches —
+#: running them at sweep scale is the NP-hard part the paper also
+#: avoids on its larger settings)
+OUR_SYSTEMS = ["greedy-s", "appro-m", "greedy-m"]
+TREE_SYSTEMS = ["appro-m", "appro-m-notree", "greedy-m", "greedy-m-notree"]
+BASELINE_SYSTEMS = ["nadeef", "urm", "llunatic"]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_workloads: Dict[Trial, Tuple] = {}
+_figures: Dict[str, List[TrialResult]] = {}
+
+
+def cached_workload(trial: Trial):
+    """The (clean, dirty, truth, fds, thresholds) tuple for a condition."""
+    if trial not in _workloads:
+        _workloads[trial] = trial.workload()
+    return _workloads[trial]
+
+
+def run_benchmark_trial(benchmark, figure: str, system: str, trial: Trial) -> TrialResult:
+    """Run *system* on *trial* once under pytest-benchmark and record it."""
+    _, dirty, truth, fds, thresholds = cached_workload(trial)
+    runner = build_system(system, fds, thresholds, trial)
+    holder = {}
+
+    def target():
+        holder["result"] = runner.repair(dirty)
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    repair = holder["result"]
+    quality = evaluate_repair(
+        repair.edits, truth, repair.stats.get("variables", set())
+    )
+    seconds = benchmark.stats.stats.mean if benchmark.stats else 0.0
+    result = TrialResult(
+        system, trial, quality, seconds, len(repair.edits), dict(repair.stats)
+    )
+    _figures.setdefault(figure, []).append(result)
+    benchmark.extra_info.update(
+        {
+            "figure": figure,
+            "precision": round(quality.precision, 4),
+            "recall": round(quality.recall, 4),
+            "edits": len(repair.edits),
+        }
+    )
+    return result
+
+
+#: figure id -> (x-axis label, x extractor, metrics to render)
+_FIGURE_SPECS = {
+    "fig5_hosp": ("N", lambda r: r.trial.n, ["precision", "recall"]),
+    "fig5_tax": ("N", lambda r: r.trial.n, ["precision", "recall"]),
+    "fig6_hosp": ("#FDs", lambda r: r.trial.n_fds, ["precision", "recall"]),
+    "fig6_tax": ("#FDs", lambda r: r.trial.n_fds, ["precision", "recall"]),
+    "fig7_hosp": ("e%", lambda r: r.trial.error_rate, ["precision", "recall"]),
+    "fig7_tax": ("e%", lambda r: r.trial.error_rate, ["precision", "recall"]),
+    "fig8_hosp": ("N", lambda r: r.trial.n, ["seconds"]),
+    "fig8_tax": ("N", lambda r: r.trial.n, ["seconds"]),
+    "fig9_hosp": ("#FDs", lambda r: r.trial.n_fds, ["seconds"]),
+    "fig9_tax": ("#FDs", lambda r: r.trial.n_fds, ["seconds"]),
+    "fig10_hosp": ("e%", lambda r: r.trial.error_rate, ["seconds"]),
+    "fig10_tax": ("e%", lambda r: r.trial.error_rate, ["seconds"]),
+    "fig11_hosp": ("N", lambda r: r.trial.n, ["precision", "recall"]),
+    "fig11_tax": ("N", lambda r: r.trial.n, ["precision", "recall"]),
+    "fig12_hosp": ("#FDs", lambda r: r.trial.n_fds, ["precision", "recall"]),
+    "fig12_tax": ("#FDs", lambda r: r.trial.n_fds, ["precision", "recall"]),
+    "fig13_hosp": ("e%", lambda r: r.trial.error_rate, ["precision", "recall"]),
+    "fig13_tax": ("e%", lambda r: r.trial.error_rate, ["precision", "recall"]),
+    "fig14_hosp": ("N", lambda r: r.trial.n, ["seconds"]),
+    "fig14_tax": ("N", lambda r: r.trial.n, ["seconds"]),
+    "fig15_hosp": ("#FDs", lambda r: r.trial.n_fds, ["seconds"]),
+    "fig15_tax": ("#FDs", lambda r: r.trial.n_fds, ["seconds"]),
+    "fig16_hosp": ("e%", lambda r: r.trial.error_rate, ["seconds"]),
+    "fig16_tax": ("e%", lambda r: r.trial.error_rate, ["seconds"]),
+    "table3_hosp": ("system", lambda r: r.system, ["precision", "recall", "seconds"]),
+    "table3_tax": ("system", lambda r: r.system, ["precision", "recall", "seconds"]),
+    "ablation_grouping": ("variant", lambda r: r.system, ["seconds"]),
+    "ablation_simjoin": ("strategy", lambda r: r.system, ["seconds"]),
+    "ablation_pruning": ("variant", lambda r: r.system, ["seconds"]),
+    "ablation_seeding": ("variant", lambda r: r.system, ["precision", "recall"]),
+    "ablation_targettree": ("variant", lambda r: r.system, ["seconds"]),
+    "complexity_scaling": ("variant", lambda r: r.system, ["seconds"]),
+    "ablation_weights": ("w_l", lambda r: r.system, ["precision", "recall"]),
+    "exact_optimality": ("N", lambda r: r.trial.n, ["precision", "seconds"]),
+    "related_md_hosp": ("system", lambda r: r.system, ["precision", "recall", "seconds"]),
+    "related_md_tax": ("system", lambda r: r.system, ["precision", "recall", "seconds"]),
+}
+
+
+def write_reports() -> None:
+    """Render every collected figure to benchmarks/results/ and stdout."""
+    if not _figures:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print("\n\n" + "=" * 72)
+    print(f"Reproduced figures ({SCALE} scale) — also in {RESULTS_DIR}/")
+    print("=" * 72)
+    for figure, results in sorted(_figures.items()):
+        label, x_of, metrics = _FIGURE_SPECS.get(
+            figure, ("x", lambda r: r.trial.n, ["precision"])
+        )
+        if label in ("system", "variant", "strategy", "w_l"):
+            body = (
+                f"# {figure} (scale={SCALE})\n\n"
+                + format_by_system(results, metrics)
+                + "\n"
+            )
+        else:
+            blocks = []
+            for metric in metrics:
+                table = format_series(results, label, x_of, metric)
+                blocks.append(f"[{metric}]\n{table}")
+            body = (
+                f"# {figure} (scale={SCALE})\n\n" + "\n\n".join(blocks) + "\n"
+            )
+        (RESULTS_DIR / f"{figure}.txt").write_text(body)
+        print(f"\n--- {figure} ---")
+        print(body)
+
+def record_custom(figure, label, trial, quality, seconds, edits=0, stats=None):
+    """Record a hand-built measurement under a custom series label."""
+    result = TrialResult(label, trial, quality, seconds, edits, stats or {})
+    _figures.setdefault(figure, []).append(result)
+    return result

@@ -1,0 +1,7 @@
+"""pytest hooks for the benchmark harness (see _harness.py)."""
+
+import _harness
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _harness.write_reports()

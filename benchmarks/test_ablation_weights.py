@@ -1,0 +1,49 @@
+"""Ablation: LHS/RHS weight split w_l / w_r (Eq. 2).
+
+The paper fixes w_l = w_r = 0.5 and notes w_r "controls the percentage
+of right-hand distance". This bench sweeps the split; thresholds are
+re-derived analytically for each split so detection stays calibrated.
+"""
+
+import time
+
+import pytest
+
+from _harness import BASE_N, record_custom
+from repro.core.distances import Weights
+from repro.core.engine import Repairer
+from repro.eval.metrics import evaluate_repair
+from repro.eval.runner import Trial
+from repro.generator.hosp import hosp_thresholds
+from repro.generator.noise import NoiseConfig, error_cells, inject_noise
+from repro.generator.hosp import generate_hosp, hosp_fds
+
+TRIAL = Trial(dataset="hosp", n=BASE_N, error_rate=0.04, seed=405)
+SPLITS = [0.3, 0.5, 0.7]
+
+
+@pytest.mark.parametrize("w_l", SPLITS)
+def test_ablation_weights(benchmark, w_l):
+    fds = hosp_fds()
+    clean = generate_hosp(TRIAL.n, rng=TRIAL.seed)
+    dirty, errors = inject_noise(
+        clean, fds, NoiseConfig(error_rate=TRIAL.error_rate), rng=TRIAL.seed + 1
+    )
+    truth = error_cells(errors)
+    weights = Weights(w_l, round(1.0 - w_l, 10))
+    thresholds = hosp_thresholds(fds, weights)
+    repairer = Repairer(
+        fds, algorithm="greedy-m", weights=weights, thresholds=thresholds
+    )
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        repairer.repair, args=(dirty,), rounds=1, iterations=1
+    )
+    seconds = time.perf_counter() - start
+    quality = evaluate_repair(result.edits, truth)
+    record_custom(
+        "ablation_weights", f"w_l={w_l}", TRIAL, quality, seconds,
+        len(result.edits),
+    )
+    assert quality.f1 > 0.5

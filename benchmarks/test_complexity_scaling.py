@@ -1,0 +1,53 @@
+"""Empirical check of the claimed complexities (Table 2).
+
+Greedy-S is O(|I| * |V|) on the grouped graph and detection is
+O(|V|^2) with filters: doubling the number of distinct patterns should
+roughly quadruple detection-dominated runtime, not explode it. This
+bench sweeps the pattern count (via the entity count at fixed N) and
+records runtime per pattern-pair, which should stay near-flat.
+"""
+
+import time
+
+import pytest
+
+from _harness import record_custom
+from repro.core.distances import DistanceModel
+from repro.core.single.greedy import repair_single_fd_greedy
+from repro.core.violation import group_patterns
+from repro.eval.metrics import RepairQuality
+from repro.eval.runner import Trial
+from repro.generator.hosp import generate_hosp, hosp_fds, hosp_thresholds
+from repro.generator.noise import NoiseConfig, inject_noise
+
+ENTITY_COUNTS = [10, 20, 40]
+N = 1200
+
+
+@pytest.mark.parametrize("entities", ENTITY_COUNTS)
+def test_complexity_scaling(benchmark, entities):
+    fd = hosp_fds(1)[0]
+    clean = generate_hosp(N, rng=71, n_facilities=entities, n_measures=5)
+    dirty, _ = inject_noise(clean, [fd], NoiseConfig(0.04), rng=72)
+    tau = hosp_thresholds([fd])[fd]
+    patterns = len(group_patterns(dirty, fd))
+
+    def run():
+        model = DistanceModel(dirty)  # fresh cache per measurement
+        return repair_single_fd_greedy(dirty, fd, model, tau)
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds = time.perf_counter() - start
+    pairs = patterns * (patterns - 1) / 2
+    placeholder = RepairQuality(1.0, 1.0, 1.0, 0, 0.0, 0)
+    record_custom(
+        "complexity_scaling",
+        f"{patterns} patterns",
+        Trial(dataset="hosp", n=N, seed=71),
+        placeholder,
+        seconds,
+        len(result.edits),
+        {"us_per_pair": round(1e6 * seconds / max(pairs, 1), 3)},
+    )
+    assert result.stats["graph_vertices"] == patterns

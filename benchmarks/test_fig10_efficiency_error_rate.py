@@ -1,0 +1,24 @@
+"""Fig. 10: runtime vs error rate, with and without the target tree.
+
+Paper shape: Greedy-M's runtime grows with e% (more patterns to weigh);
+Appro-M grows slowly — the join targets barely change with noise.
+
+Caveat (see EXPERIMENTS.md): on entity-aligned workloads the joined
+target space is near-linear, so tree and naive join run within ~20%
+of each other; the paper's large tree gains need a combinatorial
+target space, reproduced by benchmarks/test_ablation_targettree.py.
+"""
+
+import pytest
+
+from _harness import BASE_N, ERROR_RATES, TREE_SYSTEMS, run_benchmark_trial
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("error_rate", ERROR_RATES)
+@pytest.mark.parametrize("system", TREE_SYSTEMS)
+def test_fig10(benchmark, dataset, error_rate, system):
+    trial = Trial(dataset=dataset, n=BASE_N, error_rate=error_rate, seed=101)
+    result = run_benchmark_trial(benchmark, f"fig10_{dataset}", system, trial)
+    assert result.seconds >= 0.0

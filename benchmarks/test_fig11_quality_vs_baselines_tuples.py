@@ -1,0 +1,24 @@
+"""Fig. 11: quality vs NADEEF/URM/Llunatic, varying #tuples.
+
+Paper shape: our algorithms above every baseline on both precision and
+recall at every size.
+"""
+
+import pytest
+
+from _harness import (
+    BASELINE_SYSTEMS,
+    OUR_SYSTEMS,
+    TUPLE_SIZES,
+    run_benchmark_trial,
+)
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("n", TUPLE_SIZES)
+@pytest.mark.parametrize("system", OUR_SYSTEMS + BASELINE_SYSTEMS)
+def test_fig11(benchmark, dataset, n, system):
+    trial = Trial(dataset=dataset, n=n, error_rate=0.04, seed=111)
+    result = run_benchmark_trial(benchmark, f"fig11_{dataset}", system, trial)
+    assert 0.0 <= result.precision <= 1.0

@@ -1,0 +1,23 @@
+"""Fig. 12: quality vs baselines, varying #FDs."""
+
+import pytest
+
+from _harness import (
+    BASE_N,
+    BASELINE_SYSTEMS,
+    FD_COUNTS,
+    OUR_SYSTEMS,
+    run_benchmark_trial,
+)
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("n_fds", FD_COUNTS)
+@pytest.mark.parametrize("system", OUR_SYSTEMS + BASELINE_SYSTEMS)
+def test_fig12(benchmark, dataset, n_fds, system):
+    trial = Trial(
+        dataset=dataset, n=BASE_N, n_fds=n_fds, error_rate=0.04, seed=121
+    )
+    result = run_benchmark_trial(benchmark, f"fig12_{dataset}", system, trial)
+    assert 0.0 <= result.recall <= 1.0

@@ -1,0 +1,21 @@
+"""Fig. 13: quality vs baselines, varying error rate."""
+
+import pytest
+
+from _harness import (
+    BASE_N,
+    BASELINE_SYSTEMS,
+    ERROR_RATES,
+    OUR_SYSTEMS,
+    run_benchmark_trial,
+)
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("error_rate", ERROR_RATES)
+@pytest.mark.parametrize("system", OUR_SYSTEMS + BASELINE_SYSTEMS)
+def test_fig13(benchmark, dataset, error_rate, system):
+    trial = Trial(dataset=dataset, n=BASE_N, error_rate=error_rate, seed=131)
+    result = run_benchmark_trial(benchmark, f"fig13_{dataset}", system, trial)
+    assert 0.0 <= result.precision <= 1.0

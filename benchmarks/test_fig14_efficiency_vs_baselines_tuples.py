@@ -1,0 +1,25 @@
+"""Fig. 14: runtime vs baselines, varying #tuples.
+
+Paper shape: URM is the fastest (frequency counting only); our greedy
+algorithms beat the chase-based NADEEF/Llunatic.
+"""
+
+import pytest
+
+from _harness import (
+    BASELINE_SYSTEMS,
+    TUPLE_SIZES,
+    run_benchmark_trial,
+)
+from repro.eval.runner import Trial
+
+SYSTEMS = ["greedy-s", "appro-m", "greedy-m"] + BASELINE_SYSTEMS
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("n", TUPLE_SIZES)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig14(benchmark, dataset, n, system):
+    trial = Trial(dataset=dataset, n=n, error_rate=0.04, seed=141)
+    result = run_benchmark_trial(benchmark, f"fig14_{dataset}", system, trial)
+    assert result.seconds >= 0.0

@@ -1,0 +1,24 @@
+"""Fig. 15: runtime vs baselines, varying #FDs."""
+
+import pytest
+
+from _harness import (
+    BASE_N,
+    BASELINE_SYSTEMS,
+    FD_COUNTS,
+    run_benchmark_trial,
+)
+from repro.eval.runner import Trial
+
+SYSTEMS = ["greedy-s", "appro-m", "greedy-m"] + BASELINE_SYSTEMS
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("n_fds", FD_COUNTS)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig15(benchmark, dataset, n_fds, system):
+    trial = Trial(
+        dataset=dataset, n=BASE_N, n_fds=n_fds, error_rate=0.04, seed=151
+    )
+    result = run_benchmark_trial(benchmark, f"fig15_{dataset}", system, trial)
+    assert result.seconds >= 0.0

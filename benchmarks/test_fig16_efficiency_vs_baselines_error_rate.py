@@ -1,0 +1,22 @@
+"""Fig. 16: runtime vs baselines, varying error rate."""
+
+import pytest
+
+from _harness import (
+    BASE_N,
+    BASELINE_SYSTEMS,
+    ERROR_RATES,
+    run_benchmark_trial,
+)
+from repro.eval.runner import Trial
+
+SYSTEMS = ["greedy-s", "appro-m", "greedy-m"] + BASELINE_SYSTEMS
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("error_rate", ERROR_RATES)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig16(benchmark, dataset, error_rate, system):
+    trial = Trial(dataset=dataset, n=BASE_N, error_rate=error_rate, seed=161)
+    result = run_benchmark_trial(benchmark, f"fig16_{dataset}", system, trial)
+    assert result.seconds >= 0.0

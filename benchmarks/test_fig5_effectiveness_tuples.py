@@ -1,0 +1,21 @@
+"""Fig. 5: precision/recall vs #tuples (HOSP a-b, Tax c-d).
+
+Paper shape: as N grows, precision and recall of all our algorithms
+remain stable; the joint algorithms sit above the sequential single-FD
+greedy.
+"""
+
+import pytest
+
+from _harness import OUR_SYSTEMS, TUPLE_SIZES, run_benchmark_trial
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("n", TUPLE_SIZES)
+@pytest.mark.parametrize("system", OUR_SYSTEMS)
+def test_fig5(benchmark, dataset, n, system):
+    trial = Trial(dataset=dataset, n=n, error_rate=0.04, seed=51)
+    result = run_benchmark_trial(benchmark, f"fig5_{dataset}", system, trial)
+    assert result.precision >= 0.5
+    assert result.recall >= 0.5

@@ -1,0 +1,22 @@
+"""Fig. 6: precision/recall vs #FDs.
+
+Paper shape: recall grows with the number of constraints (more errors
+become detectable); Greedy-M >= Appro-M because of cross-FD
+synchronization.
+"""
+
+import pytest
+
+from _harness import BASE_N, FD_COUNTS, OUR_SYSTEMS, run_benchmark_trial
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("n_fds", FD_COUNTS)
+@pytest.mark.parametrize("system", OUR_SYSTEMS)
+def test_fig6(benchmark, dataset, n_fds, system):
+    trial = Trial(
+        dataset=dataset, n=BASE_N, n_fds=n_fds, error_rate=0.04, seed=61
+    )
+    result = run_benchmark_trial(benchmark, f"fig6_{dataset}", system, trial)
+    assert result.precision >= 0.4

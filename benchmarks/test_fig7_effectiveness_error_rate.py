@@ -1,0 +1,20 @@
+"""Fig. 7: precision/recall vs error rate e%.
+
+Paper shape: quality declines moderately as e% grows; Greedy-M stays
+closest to its low-noise quality, the naive per-FD greedy (Appro-M)
+degrades faster.
+"""
+
+import pytest
+
+from _harness import BASE_N, ERROR_RATES, OUR_SYSTEMS, run_benchmark_trial
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("error_rate", ERROR_RATES)
+@pytest.mark.parametrize("system", OUR_SYSTEMS)
+def test_fig7(benchmark, dataset, error_rate, system):
+    trial = Trial(dataset=dataset, n=BASE_N, error_rate=error_rate, seed=71)
+    result = run_benchmark_trial(benchmark, f"fig7_{dataset}", system, trial)
+    assert result.quality.f1 > 0.1

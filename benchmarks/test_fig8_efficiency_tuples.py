@@ -1,0 +1,25 @@
+"""Fig. 8: runtime vs #tuples, with and without the target tree.
+
+Paper shape: the "-Tree" variants dominate their no-tree counterparts;
+Greedy-M is the slowest of the heuristics (it recomputes synchronized
+costs), Appro-M with the tree the fastest multi-FD repairer.
+
+Caveat (see EXPERIMENTS.md): on entity-aligned workloads the joined
+target space is near-linear, so tree and naive join run within ~20%
+of each other; the paper's large tree gains need a combinatorial
+target space, reproduced by benchmarks/test_ablation_targettree.py.
+"""
+
+import pytest
+
+from _harness import TREE_SYSTEMS, TUPLE_SIZES, run_benchmark_trial
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("n", TUPLE_SIZES)
+@pytest.mark.parametrize("system", TREE_SYSTEMS + ["greedy-s"])
+def test_fig8(benchmark, dataset, n, system):
+    trial = Trial(dataset=dataset, n=n, error_rate=0.04, seed=81)
+    result = run_benchmark_trial(benchmark, f"fig8_{dataset}", system, trial)
+    assert result.seconds >= 0.0

@@ -1,0 +1,26 @@
+"""Fig. 9: runtime vs #FDs, with and without the target tree.
+
+Paper shape: with a single FD the tree brings nothing; as #FDs grows the
+tree's pruning pays off and the gap to the no-tree variants widens.
+
+Caveat (see EXPERIMENTS.md): on entity-aligned workloads the joined
+target space is near-linear, so tree and naive join run within ~20%
+of each other; the paper's large tree gains need a combinatorial
+target space, reproduced by benchmarks/test_ablation_targettree.py.
+"""
+
+import pytest
+
+from _harness import BASE_N, FD_COUNTS, TREE_SYSTEMS, run_benchmark_trial
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("n_fds", FD_COUNTS)
+@pytest.mark.parametrize("system", TREE_SYSTEMS)
+def test_fig9(benchmark, dataset, n_fds, system):
+    trial = Trial(
+        dataset=dataset, n=BASE_N, n_fds=n_fds, error_rate=0.04, seed=91
+    )
+    result = run_benchmark_trial(benchmark, f"fig9_{dataset}", system, trial)
+    assert result.seconds >= 0.0

@@ -1,0 +1,23 @@
+"""Related work (Section 2.3): FT-repair vs metric-dependency repair.
+
+The paper's closest relatives relax only one side of a constraint with a
+similarity predicate. This bench measures the consequence: an MD-style
+repairer tolerates near-miss RHS corruptions (they *satisfy* the metric
+dependency) and cannot see LHS typos, capping recall well below the
+holistic FT-violation algorithms.
+"""
+
+import pytest
+
+from _harness import BASE_N, run_benchmark_trial
+from repro.eval.runner import Trial
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "tax"])
+@pytest.mark.parametrize("system", ["greedy-m", "metricfd"])
+def test_related_work_md(benchmark, dataset, system):
+    trial = Trial(dataset=dataset, n=BASE_N, error_rate=0.04, seed=601)
+    result = run_benchmark_trial(
+        benchmark, f"related_md_{dataset}", system, trial
+    )
+    assert result.quality is not None

@@ -1,0 +1,30 @@
+"""Table 3: the full-system snapshot (P / R / time on both datasets).
+
+Paper setting: HOSP N=8k, Tax N=4k, all 9 FDs, e=4%. The smoke scale
+shrinks N (set REPRO_BENCH_SCALE=paper for closer sizes); the *ordering*
+of systems is the reproduced result: our joint algorithms lead quality,
+URM is fastest but weakest, the chase baselines sit in between.
+"""
+
+import pytest
+
+from _harness import BASE_N, BASELINE_SYSTEMS, SCALE, run_benchmark_trial
+from repro.eval.runner import Trial
+
+SYSTEMS = ["greedy-s", "appro-m", "greedy-m"] + BASELINE_SYSTEMS
+HOSP_N = 8000 if SCALE == "paper" else 2 * BASE_N
+TAX_N = 4000 if SCALE == "paper" else BASE_N
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_table3_hosp(benchmark, system):
+    trial = Trial(dataset="hosp", n=HOSP_N, error_rate=0.04, seed=301)
+    result = run_benchmark_trial(benchmark, "table3_hosp", system, trial)
+    assert result.quality is not None
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_table3_tax(benchmark, system):
+    trial = Trial(dataset="tax", n=TAX_N, error_rate=0.04, seed=302)
+    result = run_benchmark_trial(benchmark, "table3_tax", system, trial)
+    assert result.quality is not None

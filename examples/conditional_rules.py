@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Conditional rules: repairing with CFDs (the Section 2 extension).
+
+An international customer table where the dependency "postal code
+determines city" only holds inside the UK (classic CFD motivation —
+elsewhere a code spans many cities), plus a constant rule pinning one
+specific code to its city. The CFD repairer scopes the similarity-based
+repair to the rows each tableau row selects.
+
+Run: python examples/conditional_rules.py
+"""
+
+from repro import CFD, CFDRepairer, FD
+from repro.core.constraints import PatternRow
+from repro.dataset.relation import Relation, Schema
+
+SCHEMA = Schema.of("Country", "PostCode", "City", "Name")
+
+ROWS = [
+    # UK: post code determines city. One typo'd city, one typo'd code.
+    ("UK", "EC1A-4JQ", "London", "amara"),
+    ("UK", "EC1A-4JQ", "London", "bela"),
+    ("UK", "EC1A-4JQ", "Lond0n", "chen"),   # typo'd city
+    ("UK", "EC1A-4JP", "London", "dipa"),   # one-key-off code, same city
+    ("UK", "EC1A-4JsQ", "London", "egor"),  # inserted-character code
+    ("UK", "M2-5BQ", "Manchester", "fara"),
+    ("UK", "M2-5BQ", "Manchester", "gleb"),
+    # US: zip codes span cities -> the rule must NOT fire here.
+    ("US", "10001", "New York", "hana"),
+    ("US", "10001", "Brooklyn", "ivan"),
+]
+
+UK_RULE = CFD(
+    FD.parse("Country, PostCode -> City"),
+    (PatternRow({"Country": "UK"}),),
+    name="uk-postcode-city",
+)
+
+PINNED_RULE = CFD(
+    FD.parse("Country, PostCode -> City"),
+    (
+        PatternRow(
+            {"Country": "UK", "PostCode": "M2-5BQ", "City": "Manchester"}
+        ),
+    ),
+    name="pin-manchester",
+)
+
+
+def main() -> None:
+    relation = Relation(SCHEMA, ROWS)
+    print("=== Input ===")
+    print(relation.to_text())
+    print()
+
+    repairer = CFDRepairer([UK_RULE, PINNED_RULE], thresholds=0.3)
+    result = repairer.repair(relation)
+
+    print(f"=== Repair: {result.summary()} ===")
+    for edit in result.edits:
+        print(f"  {edit}")
+    print()
+    print("=== Repaired ===")
+    print(result.relation.to_text())
+    print()
+    print(
+        "Note the US rows are untouched: the tableau scopes the "
+        "dependency to the UK, where it actually holds."
+    )
+
+
+if __name__ == "__main__":
+    main()

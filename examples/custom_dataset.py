@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Repair your own CSV data: the library's intended downstream workflow.
+
+The script materializes a small product-catalog CSV (as a stand-in for
+"your data"), loads it, declares the FDs that should govern it, lets the
+engine derive thresholds, repairs, and writes the cleaned CSV next to
+the input.
+
+Run: python examples/custom_dataset.py [path/to/your.csv]
+
+With no argument, a demo catalog with three seeded errors is created in
+a temporary directory.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import FD, Repairer, read_csv, write_csv
+
+DEMO_ROWS = """sku,product,brand,warehouse,city
+sk-1001,espresso-machine,brewcraft,WH-A,Lyon
+sk-1001,espresso-machine,brewcraft,WH-A,Lyon
+sk-1001,espresso-machine,brewcreft,WH-A,Lyon
+sk-2002,grinder-pro,millstone,WH-B,Nantes
+sk-2002,grinder-pro,millstone,WH-B,Nantes
+sk-2002,grinder-pro,millstone,WH-B,Nantez
+sk-3003,kettle-steel,thermaflow,WH-A,Lyon
+sk-3003,kettle-stee1,thermaflow,WH-A,Lyon
+sk-3003,kettle-steel,thermaflow,WH-A,Lyon
+sk-3003,kettle-steel,thermaflow,WH-A,Lyon
+"""
+
+FDS = [
+    FD.parse("sku -> product, brand"),
+    FD.parse("warehouse -> city"),
+]
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        source = Path(sys.argv[1])
+    else:
+        source = Path(tempfile.mkdtemp()) / "catalog.csv"
+        source.write_text(DEMO_ROWS)
+        print(f"(no input given; demo catalog written to {source})\n")
+
+    relation = read_csv(source)
+    print(f"Loaded {len(relation)} rows from {source}:")
+    print(relation.to_text())
+    print()
+
+    repairer = Repairer(FDS, algorithm="greedy-m")
+    thresholds = repairer.resolve_thresholds(relation)
+    print("Derived thresholds:")
+    for fd, tau in thresholds.items():
+        print(f"  {fd}: tau = {tau:.3f}")
+    print()
+
+    result = repairer.repair(relation)
+    print(f"Repair: {result.summary()}")
+    for edit in result.edits:
+        print(f"  {edit}")
+
+    destination = source.with_suffix(".cleaned.csv")
+    write_csv(result.relation, destination)
+    print(f"\nCleaned data written to {destination}")
+
+
+if __name__ == "__main__":
+    main()

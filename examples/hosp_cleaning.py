@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Clean a HOSP-like hospital-quality feed and compare all algorithms.
+
+The scenario from the paper's evaluation: a relation of hospital quality
+records governed by nine FDs (zip determines city/state, provider number
+determines name/address/phone/type, measure code determines measure
+name/condition/state average). 4% of the constrained cells are dirty —
+active-domain swaps on either side of the FDs plus random typos.
+
+The script runs every repair algorithm plus the three baselines and
+prints a Table 3-style comparison.
+
+Run: python examples/hosp_cleaning.py [n_tuples]
+"""
+
+import sys
+import time
+
+from repro import Repairer
+from repro.baselines import BASELINES
+from repro.eval.metrics import evaluate_repair
+from repro.eval.reporting import format_table
+from repro.generator import (
+    HOSP_FDS,
+    NoiseConfig,
+    generate_hosp,
+    hosp_thresholds,
+    inject_noise,
+)
+from repro.generator.noise import error_cells
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    print(f"Generating a clean HOSP instance with {n} tuples...")
+    clean = generate_hosp(n, rng=7)
+    dirty, errors = inject_noise(
+        clean, HOSP_FDS, NoiseConfig(error_rate=0.04), rng=8
+    )
+    truth = error_cells(errors)
+    thresholds = hosp_thresholds()
+    print(f"Injected {len(errors)} cell errors (e = 4%).\n")
+
+    rows = []
+    for algorithm in ("greedy-s", "appro-m", "greedy-m"):
+        repairer = Repairer(HOSP_FDS, algorithm=algorithm, thresholds=thresholds)
+        start = time.perf_counter()
+        result = repairer.repair(dirty)
+        seconds = time.perf_counter() - start
+        quality = evaluate_repair(result.edits, truth)
+        rows.append(
+            [
+                algorithm,
+                f"{quality.precision:.3f}",
+                f"{quality.recall:.3f}",
+                f"{quality.f1:.3f}",
+                str(len(result.edits)),
+                f"{seconds:.2f}s",
+            ]
+        )
+    for name, cls in BASELINES.items():
+        start = time.perf_counter()
+        result = cls(HOSP_FDS).repair(dirty)
+        seconds = time.perf_counter() - start
+        quality = evaluate_repair(
+            result.edits, truth, result.stats.get("variables", set())
+        )
+        rows.append(
+            [
+                name,
+                f"{quality.precision:.3f}",
+                f"{quality.recall:.3f}",
+                f"{quality.f1:.3f}",
+                str(len(result.edits)),
+                f"{seconds:.2f}s",
+            ]
+        )
+
+    print(
+        format_table(
+            ["system", "precision", "recall", "F1", "edits", "time"], rows
+        )
+    )
+    print(
+        "\nExpected shape (paper Figs. 11-13 / Table 3): the joint "
+        "algorithms lead on both precision and recall; the equality-"
+        "semantics baselines mis-group errors (NADEEF, Llunatic) or "
+        "repair only frequent patterns (URM)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The full production workflow: discover -> detect -> repair -> review.
+
+A realistic adoption path for the library on a feed you do not fully
+trust:
+
+1. **discover** candidate FDs from the (dirty) data itself;
+2. **detect** FT-violations with the selected constraints — gate the
+   pipeline, route suspects;
+3. **repair** automatically;
+4. **review** the repairs by confidence — auto-approve the obvious typo
+   fixes, eyeball the rest;
+5. **report** what changed and what it achieved;
+6. keep an **incremental** repairer fitted for the records that arrive
+   tomorrow.
+
+Run: python examples/production_workflow.py
+"""
+
+from repro import IncrementalRepairer, Repairer, discover_fds
+from repro.eval import ReviewQueue, repair_report
+from repro.generator import NoiseConfig, generate_hosp, inject_noise
+from repro.generator.hosp import HOSP_FDS, hosp_thresholds
+
+
+def main() -> None:
+    clean = generate_hosp(600, rng=31)
+    dirty, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.04), rng=32)
+    print(f"Feed: {len(dirty)} records, {len(errors)} corrupted cells.\n")
+
+    # 1. discover -------------------------------------------------------
+    candidates = discover_fds(
+        dirty, max_lhs=1, max_violation_rate=0.08, max_uniqueness=0.95
+    )
+    print(f"1. discovered {len(candidates)} candidate FDs; top five:")
+    for candidate in candidates[:5]:
+        print(f"   {candidate}")
+    fds = [c.fd for c in candidates[:9]]
+    print(f"   -> keeping the nine cleanest for repair\n")
+
+    # 2. detect ---------------------------------------------------------
+    thresholds = hosp_thresholds()  # known geometry; or omit to derive
+    repairer = Repairer(HOSP_FDS, algorithm="greedy-m", thresholds=thresholds)
+    detection = repairer.detect(dirty)
+    print("2. detection gate:")
+    print("   " + detection.summary().replace("\n", "\n   "))
+    print()
+
+    # 3. repair ---------------------------------------------------------
+    result = repairer.repair(dirty)
+    print(f"3. automatic repair: {result.summary()}\n")
+
+    # 4. review ---------------------------------------------------------
+    queue = ReviewQueue(dirty, result)
+    auto = queue.auto_approve(min_confidence=0.6)
+    print(
+        f"4. review: {auto} edits auto-approved at confidence >= 0.6; "
+        f"{len(queue.pending())} left for a human. Least confident:"
+    )
+    for item in queue.pending()[:5]:
+        print(f"   {item}")
+    for item in list(queue.pending()):
+        queue.approve(item.edit.cell)  # the human says yes today
+    cleaned = queue.apply()
+    print()
+
+    # 5. report ---------------------------------------------------------
+    model = repairer.build_model(dirty)
+    report = repair_report(dirty, result, HOSP_FDS, model, thresholds)
+    print("5. repair report:")
+    print("   " + report.render().replace("\n", "\n   ")[:900])
+    print("   ...\n")
+
+    # 6. serve ----------------------------------------------------------
+    serving = IncrementalRepairer(HOSP_FDS, thresholds=thresholds).fit(cleaned)
+    arriving = dict(clean.record(0))
+    arriving["ZipCode"] = arriving["ZipCode"][:-1] + "x"  # tomorrow's typo
+    fixed, edits = serving.repair_record(arriving)
+    print("6. incremental serving: a record arrives with a typo'd zip;")
+    for edit in edits:
+        print(f"   {edit}")
+    assert fixed["ZipCode"] == clean.record(0)["ZipCode"]
+
+
+if __name__ == "__main__":
+    main()

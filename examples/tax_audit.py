@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Audit a Tax-like personnel feed with automatically derived thresholds.
+
+Demonstrates the Section 2.1 threshold workflow on the paper's second
+workload: instead of hand-tuning a tau per constraint, the repairer
+samples pairwise pattern distances, finds the largest gap below the
+median (the paper's "conservatively decrease tau" guidance) and uses the
+resulting per-FD taus. The script prints the derived taus next to the
+analytic ones the generator guarantees, then repairs and scores.
+
+Run: python examples/tax_audit.py [n_tuples]
+"""
+
+import sys
+
+from repro import Repairer
+from repro.eval.metrics import evaluate_repair
+from repro.eval.reporting import format_table
+from repro.generator import (
+    NoiseConfig,
+    TAX_FDS,
+    generate_tax,
+    inject_noise,
+    tax_thresholds,
+)
+from repro.generator.noise import error_cells
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1200
+    clean = generate_tax(n, rng=17)
+    dirty, errors = inject_noise(
+        clean, TAX_FDS, NoiseConfig(error_rate=0.04), rng=18
+    )
+    truth = error_cells(errors)
+
+    # Auto mode: no thresholds given, derived from the dirty data.
+    auto_repairer = Repairer(TAX_FDS, algorithm="greedy-m", rng=5)
+    derived = auto_repairer.resolve_thresholds(dirty)
+    analytic = tax_thresholds()
+    print("Per-constraint thresholds (derived by the gap rule vs the")
+    print("generator's analytic geometry):")
+    print(
+        format_table(
+            ["FD", "derived tau", "analytic tau"],
+            [
+                [fd.name, f"{derived[fd]:.3f}", f"{analytic[fd]:.3f}"]
+                for fd in TAX_FDS
+            ],
+        )
+    )
+    print()
+
+    for label, repairer in [
+        ("auto thresholds", auto_repairer),
+        (
+            "analytic thresholds",
+            Repairer(TAX_FDS, algorithm="greedy-m", thresholds=analytic),
+        ),
+    ]:
+        result = repairer.repair(dirty)
+        quality = evaluate_repair(result.edits, truth)
+        print(f"greedy-m with {label}: {quality}")
+
+    print(
+        "\nThe derived taus are deliberately conservative (precision "
+        "first); the analytic taus use the generator's known vocabulary "
+        "geometry and recover more errors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The precision/recall trade-off of the threshold tau (Section 2.1).
+
+Sweeps tau for a single constraint on a HOSP-like instance and prints
+the resulting precision/recall curve, the distance distribution's
+clusters, and where the gap heuristic lands. Shows concretely why the
+paper recommends per-constraint thresholds and conservative decreases
+when precision matters.
+
+Run: python examples/threshold_tuning.py
+"""
+
+from repro.core.distances import DistanceModel
+from repro.core.single.greedy import repair_single_fd_greedy
+from repro.core.thresholds import (
+    pairwise_distance_sample,
+    suggest_threshold_for_fd,
+)
+from repro.eval.metrics import evaluate_repair
+from repro.eval.reporting import format_table
+from repro.generator import NoiseConfig, generate_hosp, inject_noise
+from repro.generator.hosp import HOSP_FDS, hosp_thresholds
+from repro.generator.noise import error_cells
+
+
+def main() -> None:
+    fd = HOSP_FDS[0]  # ZipCode -> City, State
+    clean = generate_hosp(1000, rng=23)
+    dirty, errors = inject_noise(clean, [fd], NoiseConfig(0.05), rng=24)
+    truth = error_cells(errors)
+    model = DistanceModel(dirty)
+
+    print(f"Constraint: {fd}")
+    sample = sorted(
+        d for d in pairwise_distance_sample(dirty, fd, model, rng=1) if d > 0
+    )
+    print(f"{len(sample)} positive pairwise pattern distances; deciles:")
+    deciles = [sample[int(q * (len(sample) - 1))] for q in
+               (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)]
+    print("  " + "  ".join(f"{d:.3f}" for d in deciles))
+    derived = suggest_threshold_for_fd(dirty, fd, model, rng=1)
+    analytic = hosp_thresholds([fd])[fd]
+    print(f"gap-rule tau = {derived:.3f}; analytic tau = {analytic:.3f}\n")
+
+    rows = []
+    for tau in (0.05, 0.10, 0.20, 0.30, 0.40, 0.61, 0.80, 1.00, 1.20):
+        result = repair_single_fd_greedy(dirty, fd, model, tau)
+        quality = evaluate_repair(result.edits, truth)
+        rows.append(
+            [
+                f"{tau:.2f}",
+                f"{quality.precision:.3f}",
+                f"{quality.recall:.3f}",
+                f"{quality.f1:.3f}",
+                str(len(result.edits)),
+            ]
+        )
+    print(format_table(["tau", "precision", "recall", "F1", "edits"], rows))
+    print(
+        "\nLow tau: only near-identical pairs are flagged -> high\n"
+        "precision, low recall. Recall climbs as tau admits the swap\n"
+        "errors. Deep past the clean-pair separation every legitimate\n"
+        "pattern pair becomes a violation and precision collapses -- the\n"
+        "gap rule aims below that cliff, and the frequency-dominance\n"
+        "anchoring is what keeps the middle of the curve flat."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reimplementations of the comparison systems of Section 6.4.
+
+All three follow classic, equality-based FD semantics — the contrast the
+paper draws against its similarity-based FT-violations:
+
+* :class:`EquivalenceRepairer` (NADEEF-style): equivalence classes of
+  cells forced equal by FD violations, repaired by frequency voting.
+  RHS-only by construction.
+* :class:`URMRepairer` (Unified Repair Model, Chiang & Miller): core vs
+  deviant patterns by frequency, deviants rewritten to the closest core
+  pattern when that shortens the description length.
+* :class:`LlunaticRepairer`: chase with a frequency cost-manager;
+  unresolvable cells become variables (partial repairs worth 0.5).
+"""
+
+from repro.baselines.equivalence import EquivalenceRepairer
+from repro.baselines.urm import URMRepairer
+from repro.baselines.llunatic import LLUN_PREFIX, LlunaticRepairer
+from repro.baselines.metricdep import MetricFDRepairer
+
+BASELINES = {
+    "nadeef": EquivalenceRepairer,
+    "urm": URMRepairer,
+    "llunatic": LlunaticRepairer,
+    "metricfd": MetricFDRepairer,
+}
+
+__all__ = [
+    "EquivalenceRepairer",
+    "URMRepairer",
+    "LlunaticRepairer",
+    "MetricFDRepairer",
+    "LLUN_PREFIX",
+    "BASELINES",
+]

@@ -1,0 +1,160 @@
+"""Llunatic-style chase with a frequency cost-manager.
+
+Llunatic (Geerts et al., PVLDB 2013) repairs by chasing the constraints:
+each violation group must be merged, and a **cost manager** decides the
+merged value. With the frequency cost-manager (the configuration the
+paper compares against), a group whose value distribution has a clear
+majority is repaired to that value; otherwise the cells are set to a
+fresh **variable** (a "llun") — a placeholder meaning "some consistent
+value, ask the user later".
+
+Variables are materialized as reserved strings ``_LLUN_<k>`` so the
+repaired relation stays a plain relation; the evaluation layer awards
+them 0.5 credit when they cover a truly erroneous cell (the paper's
+"Metric 0.5": a cell repaired to a variable counts as partially
+correct).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.constraints import FD
+from repro.core.repair import CellEdit, RepairResult
+from repro.dataset.relation import Cell, Relation
+from repro.utils.unionfind import UnionFind
+
+#: Prefix of materialized variables (lluns).
+LLUN_PREFIX = "_LLUN_"
+
+
+def is_llun(value: object) -> bool:
+    """Whether *value* is a materialized Llunatic variable."""
+    return isinstance(value, str) and value.startswith(LLUN_PREFIX)
+
+
+class LlunaticRepairer:
+    """Chase-based repair with frequency cost-manager and lluns.
+
+    Parameters
+    ----------
+    fds:
+        Constraints to chase.
+    majority:
+        Minimum fraction of the group a value needs to win outright;
+        below it the group becomes a variable.
+    max_rounds:
+        Chase fixpoint bound.
+    """
+
+    name = "llunatic"
+
+    def __init__(
+        self,
+        fds: Sequence[FD],
+        majority: float = 0.6,
+        max_rounds: int = 10,
+    ) -> None:
+        if not fds:
+            raise ValueError("at least one FD is required")
+        if not 0.0 < majority <= 1.0:
+            raise ValueError("majority must be in (0, 1]")
+        self.fds: List[FD] = list(fds)
+        self.majority = majority
+        self.max_rounds = max_rounds
+
+    def repair(self, relation: Relation) -> RepairResult:
+        """Repair *relation*; variables are reported in ``stats``."""
+        current = relation.copy()
+        all_edits: Dict[Cell, CellEdit] = {}
+        variables: Set[Cell] = set()
+        llun_counter = 0
+        rounds = 0
+        for _ in range(self.max_rounds):
+            rounds += 1
+            edits, llun_counter = self._one_round(current, llun_counter)
+            if not edits:
+                break
+            for edit in edits:
+                cell = edit.cell
+                if cell in all_edits:
+                    all_edits[cell] = CellEdit(
+                        edit.tid, edit.attribute, all_edits[cell].old, edit.new
+                    )
+                else:
+                    all_edits[cell] = edit
+                current.set_value(edit.tid, edit.attribute, edit.new)
+                if is_llun(edit.new):
+                    variables.add(cell)
+                else:
+                    variables.discard(cell)
+        final_edits = [e for e in all_edits.values() if e.old != e.new]
+        return RepairResult(
+            current,
+            final_edits,
+            float(len(final_edits)),
+            {
+                "algorithm": "llunatic",
+                "rounds": rounds,
+                "variables": variables,
+                "variable_count": len(variables),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _one_round(
+        self, relation: Relation, llun_counter: int
+    ) -> Tuple[List[CellEdit], int]:
+        """One chase step over every FD (cells merged via union-find)."""
+        classes = UnionFind()
+        for fd in self.fds:
+            bound = fd.bind(relation.schema)
+            groups: Dict[Tuple, List[int]] = {}
+            for tid in relation.tids():
+                key = relation.project_indexes(tid, bound.lhs_indexes)
+                groups.setdefault(key, []).append(tid)
+            for tids in groups.values():
+                if len(tids) < 2:
+                    continue
+                anchor = tids[0]
+                for attr in fd.rhs:
+                    for tid in tids[1:]:
+                        classes.union((anchor, attr), (tid, attr))
+
+        edits: List[CellEdit] = []
+        for group in classes.groups():
+            if len(group) < 2:
+                continue
+            values = Counter(relation.value(tid, attr) for tid, attr in group)
+            if len(values) < 2:
+                continue
+            # Lluns never win a vote: they are placeholders, not evidence.
+            concrete = Counter(
+                {v: c for v, c in values.items() if not is_llun(v)}
+            )
+            winner = None
+            if concrete:
+                value, count = max(
+                    concrete.items(), key=lambda kv: (kv[1], repr(kv[0]))
+                )
+                if count / len(group) > self.majority:
+                    winner = value
+            if winner is None:
+                # Classes are per-attribute (unions always pair cells of
+                # the same attribute), so one kind check suffices.
+                attr = next(iter(group))[1]
+                if relation.schema.kind_of(attr) == "numeric":
+                    # Numeric cells cannot hold a placeholder string;
+                    # fall back to plain frequency voting.
+                    winner = max(
+                        values.items(), key=lambda kv: (kv[1], repr(kv[0]))
+                    )[0]
+                else:
+                    llun_counter += 1
+                    winner = f"{LLUN_PREFIX}{llun_counter}"
+            for tid, attr in group:
+                old = relation.value(tid, attr)
+                if old != winner:
+                    edits.append(CellEdit(tid, attr, old, winner))
+        return edits, llun_counter

@@ -1,0 +1,186 @@
+"""Conditional-FD repair by reduction (the paper's Section 2 extension).
+
+The paper develops its model for FDs and notes that "both theoretical
+results and algorithms can be applied on its extension, conditional
+functional dependencies". This module realizes that extension by
+*reduction*: a CFD is an embedded FD plus a pattern tableau, and
+
+1. **constant RHS patterns** are enforced directly — a tuple matching a
+   row's LHS constants whose RHS cell is *similar* to the asserted
+   constant (within the CFD's tau) is corrected to it; a very different
+   value is left alone (it more likely signals an LHS error, which step
+   2's similarity machinery handles);
+2. **each tableau row** restricts the instance to its matching tuples,
+   and the embedded FD is repaired on that sub-instance with the
+   standard single-FD machinery (Greedy-S by default, Exact-S on
+   request), edits being mapped back to the original tuple ids.
+
+CFDs are processed independently and sequentially; joint multi-CFD
+repair (the analogue of Section 4) is future work the paper itself does
+not develop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.constraints import CFD, FD, PatternRow
+from repro.core.distances import DistanceModel, Weights
+from repro.core.repair import CellEdit, RepairResult, apply_edits
+from repro.core.single.exact import repair_single_fd_exact
+from repro.core.single.greedy import repair_single_fd_greedy
+from repro.core.thresholds import suggest_threshold_for_fd
+from repro.dataset.relation import Relation
+
+ThresholdsLike = Union[None, float, Dict[CFD, float]]
+
+
+class CFDRepairer:
+    """Fault-tolerant repair against a set of CFDs.
+
+    Parameters
+    ----------
+    cfds:
+        The conditional functional dependencies to enforce. Plain FDs
+        can be passed wrapped as ``CFD(fd)``.
+    algorithm:
+        ``"greedy-s"`` (default) or ``"exact-s"`` for the embedded-FD
+        repairs.
+    thresholds:
+        Per-CFD tau mapping, one scalar for all, or ``None`` to derive
+        each tau from the matching sub-instance with the gap heuristic.
+    """
+
+    def __init__(
+        self,
+        cfds: Sequence[CFD],
+        algorithm: str = "greedy-s",
+        weights: Weights = Weights(),
+        thresholds: ThresholdsLike = None,
+        max_nodes: Optional[int] = 200_000,
+    ) -> None:
+        if not cfds:
+            raise ValueError("at least one CFD is required")
+        if algorithm not in ("greedy-s", "exact-s"):
+            raise ValueError("algorithm must be 'greedy-s' or 'exact-s'")
+        self.cfds: List[CFD] = list(cfds)
+        self.algorithm = algorithm
+        self.weights = weights
+        self._thresholds_spec = thresholds
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+    def repair(self, relation: Relation) -> RepairResult:
+        """Repair *relation* against every CFD; input is not mutated."""
+        for cfd in self.cfds:
+            cfd.fd.validate(relation.schema)
+        current = relation.copy()
+        edits: List[CellEdit] = []
+        stats: Dict[str, object] = {
+            "algorithm": f"cfd-{self.algorithm}",
+            "constants_enforced": 0,
+            "rows_repaired": 0,
+        }
+        for cfd in self.cfds:
+            model = DistanceModel(current, weights=self.weights)
+            tau = self._threshold_for(cfd, current, model)
+            for row in cfd.rows_or_wildcard():
+                constant_edits = self._enforce_constants(
+                    current, cfd, row, model, tau
+                )
+                stats["constants_enforced"] += len(constant_edits)
+                for edit in constant_edits:
+                    current.set_value(edit.tid, edit.attribute, edit.new)
+                edits.extend(constant_edits)
+
+                row_edits = self._repair_row(current, cfd, row, model, tau)
+                stats["rows_repaired"] += 1 if row_edits else 0
+                for edit in row_edits:
+                    current.set_value(edit.tid, edit.attribute, edit.new)
+                edits.extend(row_edits)
+        merged = _squash(edits)
+        cost = sum(
+            DistanceModel(relation, weights=self.weights).attribute_distance(
+                e.attribute, e.old, e.new
+            )
+            for e in merged
+        )
+        return RepairResult(current, merged, cost, stats)
+
+    # ------------------------------------------------------------------
+    def _threshold_for(
+        self, cfd: CFD, relation: Relation, model: DistanceModel
+    ) -> float:
+        if isinstance(self._thresholds_spec, dict):
+            if cfd not in self._thresholds_spec:
+                raise KeyError(f"no threshold for {cfd.name}")
+            return float(self._thresholds_spec[cfd])
+        if isinstance(self._thresholds_spec, (int, float)):
+            return float(self._thresholds_spec)
+        return suggest_threshold_for_fd(relation, cfd.fd, model)
+
+    def _enforce_constants(
+        self,
+        relation: Relation,
+        cfd: CFD,
+        row: PatternRow,
+        model: DistanceModel,
+        tau: float,
+    ) -> List[CellEdit]:
+        """Step 1: pin RHS constants for matching, similar cells."""
+        constants = row.rhs_constants(cfd.fd)
+        if not constants:
+            return []
+        edits: List[CellEdit] = []
+        for tid in cfd.matching_tids(relation, row):
+            for attr, constant in constants.items():
+                value = relation.value(tid, attr)
+                if value == constant:
+                    continue
+                if model.attribute_distance(attr, value, constant) <= tau:
+                    edits.append(CellEdit(tid, attr, value, constant))
+        return edits
+
+    def _repair_row(
+        self,
+        relation: Relation,
+        cfd: CFD,
+        row: PatternRow,
+        model: DistanceModel,
+        tau: float,
+    ) -> List[CellEdit]:
+        """Step 2: embedded-FD repair on the row's sub-instance."""
+        tids = cfd.matching_tids(relation, row)
+        if len(tids) < 2:
+            return []
+        sub = Relation(relation.schema)
+        for tid in tids:
+            sub.append(relation.row(tid))
+        sub_model = DistanceModel(sub, weights=self.weights)
+        if self.algorithm == "exact-s":
+            result = repair_single_fd_exact(
+                sub, cfd.fd, sub_model, tau, max_nodes=self.max_nodes
+            )
+        else:
+            result = repair_single_fd_greedy(sub, cfd.fd, sub_model, tau)
+        return [
+            CellEdit(tids[edit.tid], edit.attribute, edit.old, edit.new)
+            for edit in result.edits
+        ]
+
+
+def _squash(edits: List[CellEdit]) -> List[CellEdit]:
+    """Collapse repeated rewrites of the same cell."""
+    first_old: Dict = {}
+    last_new: Dict = {}
+    order: List = []
+    for edit in edits:
+        if edit.cell not in first_old:
+            first_old[edit.cell] = edit.old
+            order.append(edit)
+        last_new[edit.cell] = edit.new
+    return [
+        CellEdit(e.tid, e.attribute, first_old[e.cell], last_new[e.cell])
+        for e in order
+        if first_old[e.cell] != last_new[e.cell]
+    ]

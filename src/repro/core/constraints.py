@@ -1,0 +1,248 @@
+"""Integrity constraints: functional dependencies and their CFD extension.
+
+The paper states its model and algorithms for functional dependencies
+(FDs) ``phi: X -> Y`` and notes that both the theory and the algorithms
+carry over to conditional functional dependencies (CFDs). We implement:
+
+* :class:`FD` — a plain functional dependency with LHS/RHS attribute
+  lists, parsing (``FD.parse("City, Street -> District")``), schema
+  validation and binding (pre-resolved column indexes).
+* :class:`CFD` — an FD plus a pattern tableau. A constant pattern
+  restricts the tuples the embedded FD applies to; the repair engine
+  reduces each CFD to its embedded FD on the satisfying sub-instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.dataset.relation import Relation, Schema
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs -> rhs``.
+
+    Attribute order matters for projections: a pattern over this FD is a
+    value tuple in ``lhs + rhs`` order.
+
+    >>> fd = FD.parse("City, Street -> District")
+    >>> fd.lhs
+    ('City', 'Street')
+    >>> fd.rhs
+    ('District',)
+    >>> fd.attributes
+    ('City', 'Street', 'District')
+    """
+
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.lhs or not self.rhs:
+            raise ValueError("an FD needs at least one attribute on each side")
+        overlap = set(self.lhs) & set(self.rhs)
+        if overlap:
+            raise ValueError(f"attributes on both sides of the FD: {sorted(overlap)}")
+        if len(set(self.lhs)) != len(self.lhs) or len(set(self.rhs)) != len(self.rhs):
+            raise ValueError("duplicate attribute within one side of the FD")
+        if not self.name:
+            object.__setattr__(self, "name", self._default_name())
+
+    def _default_name(self) -> str:
+        return f"{','.join(self.lhs)}->{','.join(self.rhs)}"
+
+    @classmethod
+    def parse(cls, text: str, name: str = "") -> "FD":
+        """Parse ``"A, B -> C, D"`` into an FD.
+
+        Both ``->`` and the unicode arrow are accepted; whitespace around
+        attribute names is stripped.
+        """
+        normalized = text.replace("→", "->")
+        if "->" not in normalized:
+            raise ValueError(f"not an FD (missing '->'): {text!r}")
+        left, _, right = normalized.partition("->")
+        lhs = tuple(part.strip() for part in left.split(",") if part.strip())
+        rhs = tuple(part.strip() for part in right.split(",") if part.strip())
+        return cls(lhs, rhs, name=name)
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All attributes of the FD, LHS first (projection order)."""
+        return self.lhs + self.rhs
+
+    @property
+    def attribute_set(self) -> FrozenSet[str]:
+        """The attributes as a frozen set (for overlap tests)."""
+        return frozenset(self.attributes)
+
+    def overlaps(self, other: "FD") -> bool:
+        """Whether the two FDs share any attribute (Section 4.1)."""
+        return bool(self.attribute_set & other.attribute_set)
+
+    def validate(self, schema: Schema) -> None:
+        """Raise ``KeyError`` if any FD attribute is missing from *schema*."""
+        missing = [a for a in self.attributes if a not in schema]
+        if missing:
+            raise KeyError(f"FD {self.name} uses unknown attribute(s): {missing}")
+
+    def bind(self, schema: Schema) -> "BoundFD":
+        """Resolve attribute names to column indexes against *schema*."""
+        self.validate(schema)
+        return BoundFD(
+            fd=self,
+            lhs_indexes=schema.indexes_of(self.lhs),
+            rhs_indexes=schema.indexes_of(self.rhs),
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BoundFD:
+    """An FD with schema positions pre-resolved (hot-path helper)."""
+
+    fd: FD
+    lhs_indexes: Tuple[int, ...]
+    rhs_indexes: Tuple[int, ...]
+
+    @property
+    def indexes(self) -> Tuple[int, ...]:
+        return self.lhs_indexes + self.rhs_indexes
+
+    def project(self, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """The tuple's pattern over this FD (``lhs + rhs`` order)."""
+        return tuple(row[i] for i in self.indexes)
+
+
+# ----------------------------------------------------------------------
+# Conditional functional dependencies
+# ----------------------------------------------------------------------
+#: The tableau wildcard, matching any value.
+WILDCARD = "_"
+
+
+class PatternRow:
+    """One row of a CFD pattern tableau.
+
+    Maps a subset of the embedded FD's attributes to constants; missing
+    attributes (and the explicit :data:`WILDCARD`) match anything. A
+    tuple *matches* the row when every constant over an LHS attribute
+    agrees; a constant over an RHS attribute asserts the value the RHS
+    must take for matching tuples.
+
+    Rows are immutable and hashable, so CFDs can key dictionaries (e.g.
+    per-constraint threshold mappings).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, constants: Optional[Mapping[str, Any]] = None) -> None:
+        items = tuple(sorted((constants or {}).items(), key=lambda kv: kv[0]))
+        object.__setattr__(self, "_items", items)
+
+    @property
+    def constants(self) -> Dict[str, Any]:
+        """The row's constants as a fresh attribute -> value dict."""
+        return dict(self._items)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("PatternRow is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternRow):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        return f"PatternRow({dict(self._items)!r})"
+
+    def lhs_matches(self, fd: FD, record: Mapping[str, Any]) -> bool:
+        """Whether *record* satisfies the row's LHS constants."""
+        for attr in fd.lhs:
+            want = self.constants.get(attr, WILDCARD)
+            if want != WILDCARD and record[attr] != want:
+                return False
+        return True
+
+    def rhs_constants(self, fd: FD) -> Dict[str, Any]:
+        """The constants the row asserts over the FD's RHS."""
+        return {
+            attr: value
+            for attr, value in self.constants.items()
+            if attr in fd.rhs and value != WILDCARD
+        }
+
+
+@dataclass(frozen=True)
+class CFD:
+    """A conditional functional dependency: an FD plus a pattern tableau.
+
+    With an empty tableau (or a single all-wildcard row) the CFD is
+    exactly its embedded FD. With constant rows, the embedded FD is only
+    required to hold on the sub-instance matching each row's LHS
+    constants, and RHS constants additionally pin the value.
+
+    The engine supports CFDs by *reduction*: each tableau row selects a
+    sub-instance on which the embedded FD is repaired; RHS constants are
+    enforced as direct cell corrections first.
+    """
+
+    fd: FD
+    tableau: Tuple[PatternRow, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", f"cfd:{self.fd.name}")
+        for row in self.tableau:
+            unknown = set(row.constants) - set(self.fd.attributes)
+            if unknown:
+                raise ValueError(
+                    f"tableau constants over non-FD attribute(s): {sorted(unknown)}"
+                )
+
+    @property
+    def is_plain_fd(self) -> bool:
+        """True when the tableau imposes no condition at all."""
+        return all(not row.constants for row in self.tableau) or not self.tableau
+
+    def matching_tids(self, relation: Relation, row: PatternRow) -> List[int]:
+        """Tuple ids of *relation* matching the LHS constants of *row*."""
+        return [
+            tid
+            for tid in relation.tids()
+            if row.lhs_matches(self.fd, relation.record(tid))
+        ]
+
+    def rows_or_wildcard(self) -> Tuple[PatternRow, ...]:
+        """The tableau, defaulting to a single all-wildcard row."""
+        return self.tableau if self.tableau else (PatternRow(),)
+
+
+def parse_fds(specs: Iterable[str]) -> List[FD]:
+    """Parse several textual FDs at once.
+
+    >>> [fd.name for fd in parse_fds(["A -> B", "B -> C"])]
+    ['A->B', 'B->C']
+    """
+    return [FD.parse(spec) for spec in specs]
+
+
+def validate_constraints(fds: Iterable[FD], schema: Schema) -> None:
+    """Validate a set of FDs against a schema, reporting all failures."""
+    problems: List[str] = []
+    for fd in fds:
+        try:
+            fd.validate(schema)
+        except KeyError as exc:
+            problems.append(str(exc))
+    if problems:
+        raise KeyError("; ".join(problems))

@@ -1,0 +1,126 @@
+"""Detect-only mode: find FT-violations without repairing.
+
+The paper frames cleaning as detect-then-repair; in practice many
+pipelines want the detection phase alone (route suspects to review,
+block a load, feed a different fixer). :class:`DetectionReport` exposes
+the FT-violations per constraint, the suspect tuples and cells, and a
+text summary. Produced by :func:`detect` or
+:meth:`repro.core.engine.Repairer.detect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.violation import FTViolation, ft_violation_pairs, group_patterns
+from repro.dataset.relation import Cell, Relation
+
+
+@dataclass
+class DetectionReport:
+    """FT-violations of one relation against a set of FDs."""
+
+    relation_size: int
+    thresholds: Dict[str, float]
+    #: fd name -> pattern-level violations
+    violations: Dict[str, List[FTViolation]]
+    #: fd name -> tuple ids involved in at least one violation
+    suspects: Dict[str, Set[int]] = field(default_factory=dict)
+    #: fd name -> tuple ids on the *minority* side of a violation — the
+    #: probable error carriers (when a frequent and a rare pattern
+    #: collide, the rare one is almost always the corruption)
+    likely_errors: Dict[str, Set[int]] = field(default_factory=dict)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(v) for v in self.violations.values())
+
+    @property
+    def suspect_tids(self) -> Set[int]:
+        """Tuples involved in a violation of *any* constraint."""
+        out: Set[int] = set()
+        for tids in self.suspects.values():
+            out |= tids
+        return out
+
+    @property
+    def likely_error_tids(self) -> Set[int]:
+        """Tuples on the minority side of some violation (see
+        :attr:`likely_errors`)."""
+        out: Set[int] = set()
+        for tids in self.likely_errors.values():
+            out |= tids
+        return out
+
+    def suspect_cells(self, fds: Sequence[FD]) -> Set[Cell]:
+        """Cells a repair could touch: suspect tuples x their FD's attrs."""
+        by_name = {fd.name: fd for fd in fds}
+        cells: Set[Cell] = set()
+        for name, tids in self.suspects.items():
+            fd = by_name.get(name)
+            if fd is None:
+                continue
+            for tid in tids:
+                for attr in fd.attributes:
+                    cells.add((tid, attr))
+        return cells
+
+    def is_clean(self) -> bool:
+        """True when no constraint has any FT-violation."""
+        return self.total_violations == 0
+
+    def summary(self) -> str:
+        """One block of text, one line per constraint."""
+        lines = [
+            f"{self.relation_size} tuples checked; "
+            f"{self.total_violations} FT-violation(s), "
+            f"{len(self.suspect_tids)} suspect tuple(s), "
+            f"{len(self.likely_error_tids)} likely error carrier(s)"
+        ]
+        for name in self.violations:
+            lines.append(
+                f"  {name} (tau={self.thresholds[name]:.3f}): "
+                f"{len(self.violations[name])} violating pattern pair(s), "
+                f"{len(self.likely_errors.get(name, ()))} likely error tuple(s)"
+            )
+        return "\n".join(lines)
+
+
+def detect(
+    relation: Relation,
+    fds: Sequence[FD],
+    model: DistanceModel,
+    thresholds: Dict[FD, float],
+) -> DetectionReport:
+    """Detect FT-violations of every FD; no repair is attempted."""
+    violations: Dict[str, List[FTViolation]] = {}
+    suspects: Dict[str, Set[int]] = {}
+    likely: Dict[str, Set[int]] = {}
+    for fd in fds:
+        patterns = group_patterns(relation, fd)
+        pairs = ft_violation_pairs(patterns, fd, model, thresholds[fd])
+        violations[fd.name] = pairs
+        tids: Set[int] = set()
+        minority: Set[int] = set()
+        for violation in pairs:
+            tids.update(violation.left.tids)
+            tids.update(violation.right.tids)
+            if violation.left.multiplicity == violation.right.multiplicity:
+                minority.update(violation.left.tids)
+                minority.update(violation.right.tids)
+            elif violation.left.multiplicity < violation.right.multiplicity:
+                minority.update(violation.left.tids)
+            else:
+                minority.update(violation.right.tids)
+        suspects[fd.name] = tids
+        likely[fd.name] = minority
+    return DetectionReport(
+        relation_size=len(relation),
+        thresholds={fd.name: thresholds[fd] for fd in fds},
+        violations=violations,
+        suspects=suspects,
+        likely_errors=likely,
+    )

@@ -1,0 +1,323 @@
+"""Distance functions and the per-relation distance model.
+
+The paper (Section 2.1) compares tuples on the attributes of a constraint
+with a *normalized* per-attribute distance in [0, 1]:
+
+* strings — normalized edit (Levenshtein) distance,
+* numerics — normalized Euclidean distance (|a-b| divided by the largest
+  observed spread of the attribute),
+
+and combines attributes with Eq. (2)::
+
+    dist(t1^phi, t2^phi) =  w_l * sum_{A in X} dist(t1[A], t2[A])
+                          + w_r * sum_{A in Y} dist(t1[A], t2[A])
+
+with ``w_l + w_r = 1`` (default 0.5 / 0.5). The *repair cost* of changing
+one projection into another (Eq. 3) is the plain, unweighted sum of
+per-attribute distances.
+
+:class:`DistanceModel` binds these formulas to a concrete relation: it
+resolves attribute kinds, holds the numeric normalizers, and memoizes
+per-attribute value-pair distances (the same string pairs are compared
+many times during graph construction and repair search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.dataset.relation import NUMERIC, Relation, Schema
+
+DistanceFn = Callable[[Any, Any], float]
+
+
+# ----------------------------------------------------------------------
+# String distances
+# ----------------------------------------------------------------------
+def levenshtein(a: str, b: str, upper_bound: Optional[int] = None) -> int:
+    """Edit distance between *a* and *b* (insert / delete / substitute).
+
+    Implemented from scratch with the classic two-row dynamic program.
+    When *upper_bound* is given, the computation may stop early: the
+    result is exact whenever it is ``<= upper_bound``, and otherwise is
+    some value ``> upper_bound`` (often exactly ``upper_bound + 1``).
+    This is the workhorse of FT-violation detection, where only pairs
+    below a threshold matter.
+
+    >>> levenshtein("Boston", "Boton")
+    1
+    >>> levenshtein("kitten", "sitting")
+    3
+    >>> levenshtein("abcdef", "uvwxyz", upper_bound=2)
+    3
+    """
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if la == 0:
+        return lb
+    if lb == 0:
+        return la
+    if la > lb:  # keep the inner loop over the shorter string
+        a, b, la, lb = b, a, lb, la
+    if upper_bound is not None and lb - la > upper_bound:
+        return upper_bound + 1
+
+    previous = list(range(la + 1))
+    current = [0] * (la + 1)
+    for j in range(1, lb + 1):
+        current[0] = j
+        bj = b[j - 1]
+        row_min = current[0]
+        for i in range(1, la + 1):
+            cost = 0 if a[i - 1] == bj else 1
+            value = min(
+                previous[i] + 1,  # delete from b
+                current[i - 1] + 1,  # insert into b
+                previous[i - 1] + cost,  # substitute
+            )
+            current[i] = value
+            if value < row_min:
+                row_min = value
+        if upper_bound is not None and row_min > upper_bound:
+            return upper_bound + 1
+        previous, current = current, previous
+    return previous[la]
+
+
+def normalized_edit_distance(a: str, b: str) -> float:
+    """Edit distance divided by the longer length; in [0, 1].
+
+    Two empty strings are at distance 0 by convention.
+
+    >>> normalized_edit_distance("Boston", "Boton")
+    0.16666666666666666
+    >>> normalized_edit_distance("", "")
+    0.0
+    """
+    if a == b:
+        return 0.0
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return levenshtein(a, b) / longest
+
+
+def qgrams(text: str, q: int = 2) -> Tuple[str, ...]:
+    """The multiset of *q*-grams of *text*, padded with ``#`` / ``$``.
+
+    Padding makes prefix/suffix characters participate in as many grams
+    as interior characters, the standard similarity-join convention.
+
+    >>> qgrams("ab", q=2)
+    ('#a', 'ab', 'b$')
+    """
+    if q < 1:
+        raise ValueError("q must be >= 1")
+    if not text:
+        return ()
+    padded = "#" * (q - 1) + text + "$" * (q - 1)
+    return tuple(padded[i : i + q] for i in range(len(padded) - q + 1))
+
+
+def jaccard_distance(a: str, b: str, q: int = 2) -> float:
+    """1 - Jaccard similarity of the q-gram sets; in [0, 1].
+
+    An alternative string distance mentioned in Section 2.1; exposed so
+    users can register it per attribute.
+    """
+    if a == b:
+        return 0.0
+    ga, gb = set(qgrams(a, q)), set(qgrams(b, q))
+    if not ga and not gb:
+        return 0.0
+    union = len(ga | gb)
+    if union == 0:
+        return 0.0
+    return 1.0 - len(ga & gb) / union
+
+
+# ----------------------------------------------------------------------
+# Numeric distance
+# ----------------------------------------------------------------------
+def normalized_euclidean(a: float, b: float, spread: float) -> float:
+    """|a - b| / spread, clamped into [0, 1].
+
+    *spread* is the largest observed distance of the attribute (the paper
+    normalizes "by dividing the largest distance", Example 7). Two
+    distinct values of a constant-spread column are maximally distant.
+    """
+    if a == b:
+        return 0.0
+    if spread <= 0.0:
+        return 1.0
+    return min(abs(a - b) / spread, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Weighted combination
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Weights:
+    """LHS / RHS weight coefficients of Eq. (2).
+
+    The paper requires ``w_l + w_r == 1``; the default (0.5, 0.5) is the
+    paper's default. Setting ``w_l=0, w_r=1`` (with ``tau=0``) degrades
+    FT-violations to classic FD violations (Section 2.1, Remark).
+    """
+
+    lhs: float = 0.5
+    rhs: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.lhs < 0 or self.rhs < 0:
+            raise ValueError("weights must be non-negative")
+        if abs(self.lhs + self.rhs - 1.0) > 1e-9:
+            raise ValueError(f"w_l + w_r must be 1, got {self.lhs + self.rhs}")
+
+
+class DistanceModel:
+    """Per-relation distance oracle implementing Eqs. (1)-(3).
+
+    Parameters
+    ----------
+    relation:
+        The instance whose schema and numeric spreads define the
+        normalizers. Spreads are captured at construction time, so a
+        model built on the dirty input keeps stable distances while the
+        relation is being repaired.
+    weights:
+        LHS/RHS weights of Eq. (2).
+    overrides:
+        Optional per-attribute distance functions, e.g.
+        ``{"Name": jaccard_distance}``. Overrides receive the two raw
+        values and must return a normalized distance in [0, 1].
+    cache:
+        Memoize per-attribute value-pair distances. On by default; turn
+        off only for memory-constrained streaming use.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        weights: Weights = Weights(),
+        overrides: Optional[Dict[str, DistanceFn]] = None,
+        cache: bool = True,
+    ) -> None:
+        self.schema: Schema = relation.schema
+        self.weights = weights
+        self._overrides = dict(overrides or {})
+        unknown = [a for a in self._overrides if a not in self.schema]
+        if unknown:
+            raise KeyError(f"override for unknown attribute(s): {unknown}")
+        self._spreads: Dict[str, float] = {
+            attr.name: relation.value_range(attr.name)
+            for attr in self.schema
+            if attr.kind == NUMERIC
+        }
+        self._cache: Optional[Dict[Tuple[str, Any, Any], float]] = (
+            {} if cache else None
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        schema: "Schema",
+        spreads: Dict[str, float],
+        weights: Weights = Weights(),
+        overrides: Optional[Dict[str, DistanceFn]] = None,
+        cache: bool = True,
+    ) -> "DistanceModel":
+        """Rebuild a model from persisted parts (schema + numeric spreads).
+
+        Used when deserializing a fitted repairer: the original relation
+        is gone, but the schema and the captured normalizers fully
+        determine the model's behaviour.
+        """
+        from repro.dataset.relation import Relation
+
+        model = cls(Relation(schema), weights, overrides, cache)
+        unknown = [a for a in spreads if a not in model._spreads]
+        if unknown:
+            raise KeyError(f"spreads for non-numeric attribute(s): {unknown}")
+        model._spreads.update({k: float(v) for k, v in spreads.items()})
+        return model
+
+    @property
+    def spreads(self) -> Dict[str, float]:
+        """The captured numeric normalizers (for persistence)."""
+        return dict(self._spreads)
+
+    # ------------------------------------------------------------------
+    def attribute_distance(self, attribute: str, v1: Any, v2: Any) -> float:
+        """Normalized distance between two values of *attribute* (Eq. 1)."""
+        if v1 == v2:
+            return 0.0
+        if self._cache is not None:
+            # Two-way probe instead of canonical ordering: hashing the
+            # values twice is far cheaper than repr-based normalization.
+            key = (attribute, v1, v2)
+            hit = self._cache.get(key)
+            if hit is None:
+                hit = self._cache.get((attribute, v2, v1))
+            if hit is not None:
+                return hit
+        override = self._overrides.get(attribute)
+        if override is not None:
+            value = float(override(v1, v2))
+        elif attribute in self._spreads:
+            value = normalized_euclidean(float(v1), float(v2), self._spreads[attribute])
+        else:
+            value = normalized_edit_distance(str(v1), str(v2))
+        if not 0.0 <= value <= 1.0 + 1e-9:
+            raise ValueError(
+                f"distance for {attribute!r} out of [0,1]: {value} "
+                f"({v1!r} vs {v2!r})"
+            )
+        if self._cache is not None:
+            self._cache[key] = value
+        return value
+
+    def projection_distance(
+        self,
+        lhs: Sequence[str],
+        rhs: Sequence[str],
+        values1: Sequence[Any],
+        values2: Sequence[Any],
+    ) -> float:
+        """Weighted constraint distance of Eq. (2).
+
+        *values1* / *values2* are projections in ``lhs + rhs`` order.
+        """
+        n_lhs = len(lhs)
+        total = 0.0
+        for attr, a, b in zip(lhs, values1[:n_lhs], values2[:n_lhs]):
+            total += self.weights.lhs * self.attribute_distance(attr, a, b)
+        for attr, a, b in zip(rhs, values1[n_lhs:], values2[n_lhs:]):
+            total += self.weights.rhs * self.attribute_distance(attr, a, b)
+        return total
+
+    def repair_cost(
+        self,
+        attributes: Sequence[str],
+        values1: Sequence[Any],
+        values2: Sequence[Any],
+    ) -> float:
+        """Unweighted sum of per-attribute distances (Eq. 3).
+
+        This is the cost of rewriting one projection into the other, and
+        the edge weight of the violation graph (Section 3).
+        """
+        return sum(
+            self.attribute_distance(attr, a, b)
+            for attr, a, b in zip(attributes, values1, values2)
+        )
+
+    def spread(self, attribute: str) -> float:
+        """The Euclidean normalizer captured for a numeric attribute."""
+        return self._spreads[attribute]
+
+    def cache_size(self) -> int:
+        """Number of memoized value pairs (0 when caching is off)."""
+        return len(self._cache) if self._cache is not None else 0

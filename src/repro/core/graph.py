@@ -1,0 +1,226 @@
+"""The violation graph model (Section 3).
+
+Vertices are (grouped) patterns of one FD; an undirected edge joins two
+patterns in FT-violation. Each edge carries the **base cost**
+``omega(u, v)`` — the unweighted Eq. (3) repair cost of rewriting one
+projection into the other. With tuple grouping (Section 3.1) a vertex
+stands for all tuples sharing the projection, so the *directed* cost of
+repairing group ``u`` to value ``v`` is ``multiplicity(u) * omega(u, v)``
+(the paper's directed grouped graph ``G'``).
+
+Repairing with a maximal independent set ``I``:
+
+* members of ``I`` keep their values (mutually FT-consistent),
+* every non-member has, by maximality, at least one neighbor in ``I``
+  and is rewritten to its cheapest such neighbor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.violation import Pattern, group_patterns
+from repro.dataset.relation import Relation
+from repro.index.simjoin import SimilarityJoin
+
+
+class ViolationGraph:
+    """Grouped, weighted violation graph of one FD.
+
+    Vertices are integers (positions into :attr:`patterns`); the pattern
+    order is multiplicity-descending, which is also the expansion
+    algorithm's recommended access order.
+    """
+
+    def __init__(
+        self,
+        fd: FD,
+        model: DistanceModel,
+        tau: float,
+        patterns: Sequence[Pattern],
+        edges: Iterable[Tuple[int, int, float]],
+    ) -> None:
+        self.fd = fd
+        self.model = model
+        self.tau = tau
+        self.patterns: List[Pattern] = list(patterns)
+        self._adjacency: List[Dict[int, float]] = [dict() for _ in self.patterns]
+        self._pair_cost_cache: Dict[Tuple[int, int], float] = {}
+        for u, v, dist in edges:
+            base = self._base_cost(u, v)
+            self._adjacency[u][v] = base
+            self._adjacency[v][u] = base
+            # Keep the Eq. (2) distance around for diagnostics.
+            self._pair_cost_cache[(min(u, v), max(u, v))] = base
+            del dist  # the weighted distance defined the edge; cost drives repair
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        fd: FD,
+        model: DistanceModel,
+        tau: float,
+        join_strategy: str = "filtered",
+        grouping: bool = True,
+    ) -> "ViolationGraph":
+        """Detect FT-violations of *fd* and assemble the graph.
+
+        *grouping* off builds one vertex per tuple (the ungrouped graph
+        of Section 3's opening; used by the grouping ablation).
+        """
+        if grouping:
+            patterns = group_patterns(relation, fd)
+        else:
+            bound = fd.bind(relation.schema)
+            patterns = [
+                Pattern(relation.project_indexes(tid, bound.indexes), (tid,))
+                for tid in relation.tids()
+            ]
+        join = SimilarityJoin(fd, model, tau, strategy=join_strategy)
+        position = {id(p): i for i, p in enumerate(patterns)}
+        edges = [
+            (position[id(v.left)], position[id(v.right)], v.distance)
+            for v in join.join(patterns)
+        ]
+        return cls(fd, model, tau, patterns, edges)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(adj) for adj in self._adjacency) // 2
+
+    def neighbors(self, u: int) -> Dict[int, float]:
+        """Adjacent vertices of *u* with base edge costs."""
+        return self._adjacency[u]
+
+    def degree(self, u: int) -> int:
+        return len(self._adjacency[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adjacency[u]
+
+    def multiplicity(self, u: int) -> int:
+        return self.patterns[u].multiplicity
+
+    def connected_components(self) -> List[List[int]]:
+        """Vertex lists of the connected components (repair units)."""
+        seen: Set[int] = set()
+        components: List[List[int]] = []
+        for start in range(len(self.patterns)):
+            if start in seen:
+                continue
+            stack, component = [start], []
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for nxt in self._adjacency[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            components.append(sorted(component))
+        return components
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+    def _base_cost(self, u: int, v: int) -> float:
+        key = (u, v) if u < v else (v, u)
+        hit = self._pair_cost_cache.get(key)
+        if hit is None:
+            hit = self.model.repair_cost(
+                self.fd.attributes,
+                self.patterns[u].values,
+                self.patterns[v].values,
+            )
+            self._pair_cost_cache[key] = hit
+        return hit
+
+    def pair_cost(self, u: int, v: int) -> float:
+        """Base Eq. (3) cost between any two vertices (edge or not)."""
+        if u == v:
+            return 0.0
+        return self._base_cost(u, v)
+
+    def repair_cost(self, u: int, v: int) -> float:
+        """Directed grouped cost of rewriting group *u* to *v*'s values."""
+        return self.multiplicity(u) * self.pair_cost(u, v)
+
+    # ------------------------------------------------------------------
+    # Independent sets
+    # ------------------------------------------------------------------
+    def is_independent(self, vertices: Iterable[int]) -> bool:
+        """No edge joins two members."""
+        members = list(vertices)
+        member_set = set(members)
+        for u in members:
+            if any(v in member_set for v in self._adjacency[u]):
+                return False
+        return True
+
+    def is_maximal_independent(self, vertices: Iterable[int]) -> bool:
+        """Independent, and no outside vertex can join."""
+        member_set = set(vertices)
+        if not self.is_independent(member_set):
+            return False
+        for u in range(len(self.patterns)):
+            if u in member_set:
+                continue
+            if not any(v in member_set for v in self._adjacency[u]):
+                return False
+        return True
+
+    def consistent_subset(self, u: int, vertices: Iterable[int]) -> FrozenSet[int]:
+        """``FTC(u, I)``: members of *vertices* not adjacent to *u*."""
+        adjacency = self._adjacency[u]
+        return frozenset(v for v in vertices if v not in adjacency)
+
+    def best_repair_target(
+        self, u: int, independent_set: Iterable[int]
+    ) -> Optional[int]:
+        """Cheapest member of *independent_set* to rewrite *u* to.
+
+        Prefers FT-violating neighbors (the paper's repair rule); falls
+        back to the globally cheapest member when *u* has no neighbor in
+        the set (only possible for non-maximal sets).
+        """
+        members = list(independent_set)
+        if not members:
+            return None
+        adjacency = self._adjacency[u]
+        neighbor_members = [v for v in members if v in adjacency]
+        pool = neighbor_members if neighbor_members else members
+        return min(pool, key=lambda v: (self.pair_cost(u, v), v))
+
+    def repair_assignment(
+        self, independent_set: Iterable[int]
+    ) -> Tuple[Dict[int, int], float]:
+        """Map every non-member to its repair target; total grouped cost.
+
+        This realizes "repairing based on a maximal independent set"
+        (Section 3): members stay, non-members move to their cheapest
+        neighbor inside the set.
+        """
+        member_set = set(independent_set)
+        assignment: Dict[int, int] = {}
+        total = 0.0
+        for u in range(len(self.patterns)):
+            if u in member_set:
+                continue
+            target = self.best_repair_target(u, member_set)
+            if target is None:
+                raise ValueError("cannot repair against an empty independent set")
+            assignment[u] = target
+            total += self.repair_cost(u, target)
+        return assignment, total

@@ -1,0 +1,314 @@
+"""Incremental repair: fit once, repair arriving tuples in O(search).
+
+Batch repair recomputes violation graphs from scratch; a feed that
+receives a handful of records per second should not. The incremental
+repairer splits the paper's pipeline at its natural seam:
+
+* :meth:`IncrementalRepairer.fit` runs the expensive part once on a
+  reference instance — per-FD violation graphs, (dominance-seeded)
+  independent sets, and one target tree per FD-graph component;
+* :meth:`IncrementalRepairer.repair_record` then answers "how should
+  this one tuple look" by checking its per-FD patterns against the
+  fitted sets and, if any is unresolved, rewriting the component
+  attributes to the nearest fitted target (the same rule the batch
+  algorithms apply).
+
+The fitted sets are read-only by default — arriving garbage cannot
+corrupt the model. With ``absorb=True``, a record whose patterns are
+FT-consistent with every fitted set (a genuinely new, clean entity) is
+*absorbed*: its patterns join the sets and the affected component's
+target tree is rebuilt, so later look-alikes repair toward it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel, Weights
+from repro.core.engine import Repairer
+from repro.core.multi.fdgraph import component_attributes, fd_components
+from repro.core.multi.target_tree import TargetTree
+from repro.core.repair import CellEdit
+from repro.core.violation import projection_distance_within
+from repro.dataset.relation import Relation
+
+
+class NotFittedError(RuntimeError):
+    """repair_record was called before fit."""
+
+
+class _Component:
+    """Fitted state for one connected FD-graph component."""
+
+    def __init__(
+        self,
+        fds: Sequence[FD],
+        elements_per_fd: List[List[Tuple]],
+        model: DistanceModel,
+    ) -> None:
+        self.fds = list(fds)
+        self.attributes: Tuple[str, ...] = tuple(component_attributes(fds))
+        self.elements_per_fd = [list(e) for e in elements_per_fd]
+        self._element_sets = [set(e) for e in elements_per_fd]
+        self._model = model
+        self.tree = TargetTree(self.fds, self.elements_per_fd, model)
+
+    def resolved(self, record: Mapping[str, object]) -> bool:
+        for fd, members in zip(self.fds, self._element_sets):
+            pattern = tuple(record[a] for a in fd.attributes)
+            if pattern not in members:
+                return False
+        return True
+
+    def consistent_everywhere(
+        self, record: Mapping[str, object], thresholds: Dict[FD, float]
+    ) -> bool:
+        """No fitted element FT-violates any of the record's patterns."""
+        for fd, elements in zip(self.fds, self.elements_per_fd):
+            pattern = tuple(record[a] for a in fd.attributes)
+            tau = thresholds[fd]
+            for element in elements:
+                if element == pattern:
+                    continue
+                if (
+                    projection_distance_within(
+                        self._model, fd, pattern, element, tau
+                    )
+                    is not None
+                ):
+                    return False
+        return True
+
+    def absorb(self, record: Mapping[str, object]) -> None:
+        changed = False
+        for fd, elements, members in zip(
+            self.fds, self.elements_per_fd, self._element_sets
+        ):
+            pattern = tuple(record[a] for a in fd.attributes)
+            if pattern not in members:
+                elements.append(pattern)
+                members.add(pattern)
+                changed = True
+        if changed:
+            self.tree = TargetTree(self.fds, self.elements_per_fd, self._model)
+
+
+class IncrementalRepairer:
+    """Fit on a reference instance, then repair records one at a time.
+
+    Parameters mirror :class:`~repro.core.engine.Repairer` where they
+    apply; set selection uses the (dominance-seeded) per-FD greedy.
+    """
+
+    def __init__(
+        self,
+        fds: Sequence[FD],
+        weights: Weights = Weights(),
+        thresholds=None,
+        absorb: bool = False,
+    ) -> None:
+        if not fds:
+            raise ValueError("at least one FD is required")
+        self.fds: List[FD] = list(fds)
+        self.weights = weights
+        self._thresholds_spec = thresholds
+        self.absorb = absorb
+        self._components: Optional[List[_Component]] = None
+        self._model: Optional[DistanceModel] = None
+        self._thresholds: Optional[Dict[FD, float]] = None
+        self.records_seen = 0
+        self.records_repaired = 0
+        self.records_absorbed = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, relation: Relation) -> "IncrementalRepairer":
+        """Learn the repair model from *relation* (ideally mostly clean)."""
+        from repro.core.multi.appro import greedy_sets_per_fd
+
+        facade = Repairer(
+            self.fds, weights=self.weights, thresholds=self._thresholds_spec
+        )
+        model = facade.build_model(relation)
+        thresholds = facade.resolve_thresholds(relation, model)
+        components: List[_Component] = []
+        for component_fds in fd_components(self.fds):
+            _, elements = greedy_sets_per_fd(
+                relation, component_fds, model, thresholds, seed_dominant=True
+            )
+            components.append(_Component(component_fds, elements, model))
+        self._components = components
+        self._model = model
+        self._thresholds = thresholds
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._components is not None
+
+    # ------------------------------------------------------------------
+    def repair_record(
+        self, record: Mapping[str, object]
+    ) -> Tuple[Dict[str, object], List[CellEdit]]:
+        """Repair one record; returns (repaired record, pseudo-edits).
+
+        Edits use tid 0 (records have no tuple id); attributes outside
+        every constraint pass through untouched.
+        """
+        if self._components is None:
+            raise NotFittedError("call fit() before repair_record()")
+        assert self._thresholds is not None
+        self.records_seen += 1
+        repaired = dict(record)
+        edits: List[CellEdit] = []
+        for component in self._components:
+            missing = [
+                a for a in component.attributes if a not in repaired
+            ]
+            if missing:
+                raise KeyError(f"record is missing attribute(s): {missing}")
+            if component.resolved(repaired):
+                continue
+            if self.absorb and component.consistent_everywhere(
+                repaired, self._thresholds
+            ):
+                component.absorb(repaired)
+                self.records_absorbed += 1
+                continue
+            values = tuple(repaired[a] for a in component.attributes)
+            target, _cost = component.tree.nearest_target(values)
+            for attr, new in zip(component.attributes, target.values):
+                old = repaired[attr]
+                if old != new:
+                    edits.append(CellEdit(0, attr, old, new))
+                    repaired[attr] = new
+        if edits:
+            self.records_repaired += 1
+        return repaired, edits
+
+    def repair_batch(self, relation: Relation) -> Relation:
+        """Repair every tuple of *relation* through the fitted model."""
+        if self._components is None:
+            raise NotFittedError("call fit() before repair_batch()")
+        out = Relation(relation.schema)
+        names = relation.schema.names
+        for tid in relation.tids():
+            repaired, _ = self.repair_record(relation.record(tid))
+            out.append([repaired[a] for a in names])
+        return out
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+_PERSIST_VERSION = 1
+
+
+def _schema_to_spec(schema) -> List[List[str]]:
+    return [[attr.name, attr.kind] for attr in schema]
+
+
+def _schema_from_spec(spec) -> "Schema":
+    from repro.dataset.relation import Attribute, Schema
+
+    return Schema(Attribute(name, kind) for name, kind in spec)
+
+
+def save_model(repairer: IncrementalRepairer, path) -> None:
+    """Persist a fitted :class:`IncrementalRepairer` to a JSON file.
+
+    Only the fitted state travels: schema, numeric spreads, FDs,
+    thresholds, per-component independent-set elements, counters.
+    Distance-function overrides are not serializable and must be
+    re-supplied at load time if used.
+    """
+    import json
+
+    if repairer._components is None or repairer._model is None:
+        raise NotFittedError("fit() the repairer before saving it")
+    assert repairer._thresholds is not None
+    payload = {
+        "version": _PERSIST_VERSION,
+        "schema": _schema_to_spec(repairer._model.schema),
+        "weights": [repairer.weights.lhs, repairer.weights.rhs],
+        "spreads": repairer._model.spreads,
+        "absorb": repairer.absorb,
+        "fds": [
+            {"lhs": list(fd.lhs), "rhs": list(fd.rhs), "name": fd.name}
+            for fd in repairer.fds
+        ],
+        "thresholds": {
+            fd.name: repairer._thresholds[fd] for fd in repairer.fds
+        },
+        "components": [
+            {
+                "fd_names": [fd.name for fd in component.fds],
+                "elements": [
+                    [list(element) for element in elements]
+                    for elements in component.elements_per_fd
+                ],
+            }
+            for component in repairer._components
+        ],
+        "counters": {
+            "records_seen": repairer.records_seen,
+            "records_repaired": repairer.records_repaired,
+            "records_absorbed": repairer.records_absorbed,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_model(path) -> IncrementalRepairer:
+    """Restore a fitted :class:`IncrementalRepairer` from a JSON file."""
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _PERSIST_VERSION:
+        raise ValueError(
+            f"unsupported model version {payload.get('version')!r}"
+        )
+    schema = _schema_from_spec(payload["schema"])
+    weights = Weights(*payload["weights"])
+    fds = [
+        FD(tuple(spec["lhs"]), tuple(spec["rhs"]), name=spec["name"])
+        for spec in payload["fds"]
+    ]
+    by_name = {fd.name: fd for fd in fds}
+    thresholds = {
+        by_name[name]: float(tau)
+        for name, tau in payload["thresholds"].items()
+    }
+    model = DistanceModel.from_parts(schema, payload["spreads"], weights)
+
+    def _revive(values, fd_attrs):
+        kinds = [schema.kind_of(a) for a in fd_attrs]
+        return tuple(
+            float(v) if kind == "numeric" else v
+            for v, kind in zip(values, kinds)
+        )
+
+    repairer = IncrementalRepairer(
+        fds,
+        weights=weights,
+        thresholds=thresholds,
+        absorb=bool(payload["absorb"]),
+    )
+    components: List[_Component] = []
+    for spec in payload["components"]:
+        component_fds = [by_name[name] for name in spec["fd_names"]]
+        elements = [
+            [_revive(values, fd.attributes) for values in element_list]
+            for fd, element_list in zip(component_fds, spec["elements"])
+        ]
+        components.append(_Component(component_fds, elements, model))
+    repairer._components = components
+    repairer._model = model
+    repairer._thresholds = thresholds
+    counters = payload.get("counters", {})
+    repairer.records_seen = counters.get("records_seen", 0)
+    repairer.records_repaired = counters.get("records_repaired", 0)
+    repairer.records_absorbed = counters.get("records_absorbed", 0)
+    return repairer

@@ -1,0 +1,26 @@
+"""Multiple-constraint repair algorithms (Sections 4-5)."""
+
+from repro.core.multi.fdgraph import fd_components, fds_share_attributes
+from repro.core.multi.targets import (
+    Target,
+    TargetJoinError,
+    join_targets,
+    nearest_target_naive,
+)
+from repro.core.multi.target_tree import TargetTree
+from repro.core.multi.exact import repair_multi_fd_exact
+from repro.core.multi.appro import repair_multi_fd_appro
+from repro.core.multi.greedy import repair_multi_fd_greedy
+
+__all__ = [
+    "fd_components",
+    "fds_share_attributes",
+    "Target",
+    "TargetJoinError",
+    "join_targets",
+    "nearest_target_naive",
+    "TargetTree",
+    "repair_multi_fd_exact",
+    "repair_multi_fd_appro",
+    "repair_multi_fd_greedy",
+]

@@ -1,0 +1,259 @@
+"""The target tree (Section 5): index + best-first nearest-target search.
+
+Materializing the full join of per-FD independent sets can be
+exponential; the target tree shares prefixes instead:
+
+* level ``l_i`` holds the elements of the i-th independent set (sets are
+  inserted smallest-first so the root fans out least, Section 5.1);
+* a node is attached under every compatible level-(i-1) node — the path
+  assignment must agree with the element on shared attributes;
+* paths from the root to the deepest level are exactly the targets;
+  shorter paths are pruned after construction;
+* every node caches the attribute-value sets appearing in its subtree,
+  enabling the admissible estimate ``EDIST``.
+
+Search (Algorithm 5) is best-first with
+``f(v) = RDIST(v) + EDIST(v)``: the exact cost over attributes fixed by
+the path so far, plus a per-attribute lower bound over the values still
+reachable below. ``f`` never overestimates, so the first fully expanded
+leaf kept as ``C_min`` prunes the rest of the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.multi.fdgraph import component_attributes
+from repro.core.multi.targets import Target, TargetJoinError
+
+
+class _Node:
+    """One target-tree node: an independent-set element plus bookkeeping."""
+
+    __slots__ = ("fd", "element", "parent", "children", "assignment", "subtree_values")
+
+    def __init__(
+        self,
+        fd: Optional[FD],
+        element: Optional[Tuple],
+        parent: Optional["_Node"],
+    ) -> None:
+        self.fd = fd
+        self.element = element
+        self.parent = parent
+        self.children: List["_Node"] = []
+        #: attributes fixed by the path from the root down to this node
+        self.assignment: Dict[str, object] = dict(parent.assignment) if parent else {}
+        if fd is not None and element is not None:
+            for attr, value in zip(fd.attributes, element):
+                self.assignment[attr] = value
+        #: per-attribute values appearing in full-depth descendants
+        self.subtree_values: Dict[str, Set] = {}
+
+
+class TargetTree:
+    """Prefix-tree index over the join of per-FD independent sets.
+
+    Parameters
+    ----------
+    fds:
+        The FDs of one connected component of the FD graph.
+    elements_per_fd:
+        For each FD, the value tuples (in ``fd.attributes`` order) of its
+        chosen independent set.
+    model:
+        Distance oracle used by the search.
+    """
+
+    def __init__(
+        self,
+        fds: Sequence[FD],
+        elements_per_fd: Sequence[Sequence[Tuple]],
+        model: DistanceModel,
+    ) -> None:
+        if len(fds) != len(elements_per_fd):
+            raise ValueError("one element list per FD is required")
+        self.model = model
+        #: query/result attribute order — fixed by the *caller's* FD
+        #: order, NOT by the internal level order below, so projections
+        #: built by the caller line up with targets returned here.
+        self.attributes: Tuple[str, ...] = tuple(component_attributes(fds))
+        # Smallest sets first: minimal fan-out near the root (Sec. 5.1).
+        order = sorted(range(len(fds)), key=lambda i: (len(elements_per_fd[i]), i))
+        self.fds: List[FD] = [fds[i] for i in order]
+        self._elements: List[List[Tuple]] = [list(elements_per_fd[i]) for i in order]
+        self.root = _Node(None, None, None)
+        self.node_count = 0
+        self._build()
+        self.searches = 0
+        self.nodes_visited = 0
+        self.nodes_pruned = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        frontier = [self.root]
+        placed: set = set()
+        for fd, elements in zip(self.fds, self._elements):
+            if not elements:
+                raise TargetJoinError(f"empty independent set for {fd.name}")
+            # Hash-join on the attributes shared with the levels already
+            # placed: bucket the level's elements by their shared-attr
+            # values, then each frontier node only meets its bucket —
+            # O(|elements| + |frontier| * bucket) instead of the nested
+            # all-pairs compatibility scan.
+            shared = [
+                (pos, attr)
+                for pos, attr in enumerate(fd.attributes)
+                if attr in placed
+            ]
+            buckets: Dict[Tuple, List[Tuple]] = {}
+            for element in elements:
+                key = tuple(element[pos] for pos, _ in shared)
+                buckets.setdefault(key, []).append(element)
+            next_frontier: List[_Node] = []
+            for parent in frontier:
+                key = tuple(parent.assignment[attr] for _, attr in shared)
+                for element in buckets.get(key, ()):
+                    child = _Node(fd, element, parent)
+                    parent.children.append(child)
+                    next_frontier.append(child)
+            if not next_frontier:
+                raise TargetJoinError(
+                    f"no target survives joining {fd.name}; the independent "
+                    "sets disagree on shared attributes"
+                )
+            placed.update(fd.attributes)
+            frontier = next_frontier
+        self._prune_incomplete(self.root, depth=0)
+        self.node_count = self._collect_subtree_values(self.root)
+
+    def _prune_incomplete(self, node: _Node, depth: int) -> bool:
+        """Drop branches that do not reach the last level (non-targets)."""
+        if depth == len(self.fds):
+            return True
+        node.children = [
+            child
+            for child in node.children
+            if self._prune_incomplete(child, depth + 1)
+        ]
+        return bool(node.children)
+
+    def _collect_subtree_values(self, node: _Node) -> int:
+        """Bottom-up attribute-value sets; returns subtree node count."""
+        count = 1
+        values: Dict[str, Set] = {}
+        for child in node.children:
+            count += self._collect_subtree_values(child)
+            assert child.fd is not None and child.element is not None
+            for attr, value in zip(child.fd.attributes, child.element):
+                values.setdefault(attr, set()).add(value)
+            for attr, child_values in child.subtree_values.items():
+                values.setdefault(attr, set()).update(child_values)
+        node.subtree_values = values
+        return count
+
+    # ------------------------------------------------------------------
+    # Enumeration (diagnostics / oracle cross-checks)
+    # ------------------------------------------------------------------
+    def targets(self) -> List[Target]:
+        """Materialize every target (root-to-leaf path)."""
+        out: List[Target] = []
+
+        def walk(node: _Node, depth: int) -> None:
+            if depth == len(self.fds):
+                out.append(
+                    Target(
+                        self.attributes,
+                        tuple(node.assignment[a] for a in self.attributes),
+                    )
+                )
+                return
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    # Best-first search (Algorithm 5)
+    # ------------------------------------------------------------------
+    def nearest_target(
+        self, tuple_values: Sequence
+    ) -> Tuple[Target, float]:
+        """The target with the minimum Eq. (3) cost to *tuple_values*.
+
+        *tuple_values* follow :attr:`attributes` order. Returns the
+        target and the exact repair cost over the component attributes.
+        """
+        if len(tuple_values) != len(self.attributes):
+            raise ValueError(
+                f"expected {len(self.attributes)} values, got {len(tuple_values)}"
+            )
+        self.searches += 1
+        query = dict(zip(self.attributes, tuple_values))
+        # Per-search memo: each (attribute, candidate value) distance is
+        # computed once, however many nodes mention the value.
+        memo: Dict[str, Dict[object, float]] = {a: {} for a in self.attributes}
+        attribute_distance = self.model.attribute_distance
+
+        def dist(attr: str, value: object) -> float:
+            table = memo[attr]
+            hit = table.get(value)
+            if hit is None:
+                hit = attribute_distance(attr, query[attr], value)
+                table[value] = hit
+            return hit
+
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int, _Node]] = [
+            (0.0, next(counter), 0, self.root)
+        ]
+        c_min = float("inf")
+        best: Optional[_Node] = None
+        while heap:
+            f_value, _, depth, node = heapq.heappop(heap)
+            if f_value >= c_min:
+                # Everything left in the queue is at least as bad.
+                break
+            self.nodes_visited += 1
+            if depth == len(self.fds):
+                c_min = f_value  # leaf f is the exact cost
+                best = node
+                continue
+            for child in node.children:
+                f_child = self._f(child, dist)
+                if f_child < c_min:
+                    heapq.heappush(heap, (f_child, next(counter), depth + 1, child))
+                else:
+                    self.nodes_pruned += 1
+        if best is None:
+            raise TargetJoinError("target tree is empty")
+        return (
+            Target(
+                self.attributes,
+                tuple(best.assignment[a] for a in self.attributes),
+            ),
+            c_min,
+        )
+
+    def _f(self, node: _Node, dist) -> float:
+        """RDIST + EDIST: exact cost of fixed attributes plus a lower
+        bound over attributes still open below *node*."""
+        rdist = 0.0
+        for attr, value in node.assignment.items():
+            rdist += dist(attr, value)
+        edist = 0.0
+        for attr in self.attributes:
+            if attr in node.assignment:
+                continue
+            candidates = node.subtree_values.get(attr)
+            if not candidates:
+                continue
+            edist += min(dist(attr, value) for value in candidates)
+        return rdist + edist

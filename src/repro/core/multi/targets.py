@@ -1,0 +1,117 @@
+"""Joint repair targets (Section 4.1).
+
+Given one independent set per FD of a connected component, a **target**
+is a value assignment over the component's attributes obtained by
+joining one element from each set, where elements must agree on every
+shared attribute ("valid target"). Every unresolved tuple is repaired to
+its nearest target, which simultaneously resolves all the component's
+constraints (Example 3: t5 is repaired to (New York, Main, Manhattan,
+NY), fixing phi2 and phi3 together at minimum cost).
+
+This module provides the naive join and nearest-target scan used as the
+reference implementation and test oracle; :mod:`.target_tree` is the
+paper's optimized index (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.multi.fdgraph import component_attributes
+
+
+class TargetJoinError(ValueError):
+    """The per-FD independent sets admit no common target."""
+
+
+@dataclass(frozen=True)
+class Target:
+    """A full assignment over a component's attributes."""
+
+    attributes: Tuple[str, ...]
+    values: Tuple
+
+    def value_of(self, attribute: str) -> object:
+        return self.values[self.attributes.index(attribute)]
+
+    def as_mapping(self) -> Dict[str, object]:
+        return dict(zip(self.attributes, self.values))
+
+
+def join_targets(
+    fds: Sequence[FD],
+    elements_per_fd: Sequence[Sequence[Tuple]],
+) -> List[Target]:
+    """Naive join of per-FD independent-set elements into targets.
+
+    ``elements_per_fd[i]`` holds value tuples in ``fds[i].attributes``
+    order. Raises :class:`TargetJoinError` when no consistent combination
+    exists.
+    """
+    if len(fds) != len(elements_per_fd):
+        raise ValueError("one element list per FD is required")
+    attributes = tuple(component_attributes(fds))
+    partials: List[Dict[str, object]] = [{}]
+    for fd, elements in zip(fds, elements_per_fd):
+        if not elements:
+            raise TargetJoinError(f"empty independent set for {fd.name}")
+        extended: List[Dict[str, object]] = []
+        for partial in partials:
+            for element in elements:
+                candidate = _extend(partial, fd, element)
+                if candidate is not None:
+                    extended.append(candidate)
+        if not extended:
+            raise TargetJoinError(
+                f"no target survives joining {fd.name}; the independent "
+                "sets disagree on shared attributes"
+            )
+        partials = extended
+    return [
+        Target(attributes, tuple(partial[a] for a in attributes))
+        for partial in partials
+    ]
+
+
+def _extend(
+    partial: Mapping[str, object], fd: FD, element: Tuple
+) -> Optional[Dict[str, object]]:
+    """Merge an FD element into a partial assignment, or None on clash."""
+    merged = dict(partial)
+    for attr, value in zip(fd.attributes, element):
+        if attr in merged:
+            if merged[attr] != value:
+                return None
+        else:
+            merged[attr] = value
+    return merged
+
+
+def target_cost(
+    model: DistanceModel,
+    target: Target,
+    tuple_values: Sequence,
+) -> float:
+    """Eq. (3) cost of rewriting a tuple's component projection to *target*."""
+    return model.repair_cost(target.attributes, tuple(tuple_values), target.values)
+
+
+def nearest_target_naive(
+    model: DistanceModel,
+    targets: Sequence[Target],
+    tuple_values: Sequence,
+) -> Tuple[Target, float]:
+    """Linear scan for the cheapest target (reference for the target tree)."""
+    if not targets:
+        raise TargetJoinError("no targets to search")
+    best: Optional[Target] = None
+    best_cost = float("inf")
+    for target in targets:
+        cost = target_cost(model, target, tuple_values)
+        if cost < best_cost:
+            best, best_cost = target, cost
+    assert best is not None
+    return best, best_cost

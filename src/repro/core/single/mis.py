@@ -1,0 +1,253 @@
+"""Maximal-independent-set enumeration via the expansion tree (Section 3.1).
+
+Independent sets satisfy the a-priori property: every subset of an
+independent set is independent. The expansion algorithm exploits this by
+visiting vertices in order ``v_1 .. v_n`` and maintaining, per level
+``i``, all maximal independent sets of the induced prefix ``D_i``:
+
+* if ``v_{i+1}`` is FT-consistent with a set ``I``, the only child is
+  ``I ∪ {v_{i+1}}``;
+* otherwise ``I`` survives unchanged (it is still maximal), and
+  ``FTC(v_{i+1}, I) ∪ {v_{i+1}}`` becomes a second child when it is
+  maximal w.r.t. the new prefix and not a duplicate.
+
+For the *optimal repair* search, a node may be pruned when its repair
+lower bound (Eq. 5) exceeds the best known upper bound (Eq. 6): every
+repair reachable from the node is then provably beaten by an already
+known feasible repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.core.graph import ViolationGraph
+
+
+class ExpansionLimitError(RuntimeError):
+    """Raised when enumeration exceeds the caller's node budget."""
+
+
+@dataclass
+class ExpansionStats:
+    """Counters from one enumeration run."""
+
+    levels: int = 0
+    nodes_generated: int = 0
+    nodes_pruned: int = 0
+    duplicates_removed: int = 0
+    non_maximal_discarded: int = 0
+    sets_enumerated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "levels": self.levels,
+            "nodes_generated": self.nodes_generated,
+            "nodes_pruned": self.nodes_pruned,
+            "duplicates_removed": self.duplicates_removed,
+            "non_maximal_discarded": self.non_maximal_discarded,
+            "sets_enumerated": self.sets_enumerated,
+        }
+
+
+def _min_outgoing_cost(graph: ViolationGraph, vertices: Sequence[int]) -> Dict[int, float]:
+    """Per-vertex cheapest directed repair cost to any neighbor.
+
+    The Eq. (5) ingredient: a vertex left out of the independent set must
+    be repaired to *some* neighbor, costing at least this much.
+    """
+    out: Dict[int, float] = {}
+    allowed = set(vertices)
+    for v in vertices:
+        costs = [
+            graph.multiplicity(v) * cost
+            for u, cost in graph.neighbors(v).items()
+            if u in allowed
+        ]
+        out[v] = min(costs) if costs else 0.0
+    return out
+
+
+def _lower_bound(
+    prefix: Sequence[int],
+    independent: FrozenSet[int],
+    min_out: Dict[int, float],
+) -> float:
+    """Eq. (5): vertices already excluded must pay their cheapest repair."""
+    return sum(min_out[v] for v in prefix if v not in independent)
+
+
+def _upper_bound(
+    graph: ViolationGraph,
+    vertices: Sequence[int],
+    independent: FrozenSet[int],
+) -> float:
+    """Eq. (6): repair *every* outside vertex into the set right now.
+
+    This is the cost of a concrete feasible repair, hence an upper bound
+    on the optimum reachable from any superset of ``independent``.
+    """
+    total = 0.0
+    members = list(independent)
+    for v in vertices:
+        if v in independent:
+            continue
+        total += graph.multiplicity(v) * min(
+            graph.pair_cost(v, u) for u in members
+        )
+    return total
+
+
+def enumerate_maximal_independent_sets(
+    graph: ViolationGraph,
+    vertices: Optional[Sequence[int]] = None,
+    prune: bool = False,
+    max_nodes: Optional[int] = None,
+    stats: Optional[ExpansionStats] = None,
+) -> List[FrozenSet[int]]:
+    """All maximal independent sets of the induced subgraph on *vertices*.
+
+    With ``prune=True`` the enumeration keeps only sets that can still
+    lead to the minimum-cost repair (sound for the optimization, not for
+    exhaustive enumeration). *max_nodes* bounds the total number of tree
+    nodes; exceeding it raises :class:`ExpansionLimitError` so callers
+    can fall back to the greedy algorithm.
+    """
+    order = list(vertices) if vertices is not None else list(range(len(graph)))
+    if stats is None:
+        stats = ExpansionStats()
+    if not order:
+        return []
+    min_out = _min_outgoing_cost(graph, order) if prune else {}
+
+    current: List[FrozenSet[int]] = [frozenset({order[0]})]
+    stats.nodes_generated += 1
+    best_upper = float("inf")
+
+    for level in range(1, len(order)):
+        stats.levels = level
+        vertex = order[level]
+        # Vertices decided so far (D_i of Eq. 5). `vertex` itself is NOT
+        # part of the bound's prefix: it may still join the set at zero
+        # cost, so charging its min-out repair would overestimate the
+        # bound and prune optimal branches.
+        decided = order[:level]
+        prefix = order[: level + 1]
+        if prune:
+            for node in current:
+                best_upper = min(best_upper, _upper_bound(graph, order, node))
+        next_level: Dict[FrozenSet[int], None] = {}
+
+        def emit(candidate: FrozenSet[int]) -> None:
+            if candidate in next_level:
+                stats.duplicates_removed += 1
+                return
+            next_level[candidate] = None
+            stats.nodes_generated += 1
+            if max_nodes is not None and stats.nodes_generated > max_nodes:
+                raise ExpansionLimitError(
+                    f"expansion exceeded {max_nodes} nodes at level {level}"
+                )
+
+        for node in current:
+            if prune and _lower_bound(decided, node, min_out) > best_upper:
+                stats.nodes_pruned += 1
+                continue
+            adjacency = graph.neighbors(vertex)
+            if not any(member in adjacency for member in node):
+                emit(node | {vertex})
+            else:
+                emit(node)  # still maximal in the larger prefix
+                candidate = graph.consistent_subset(vertex, node) | {vertex}
+                if _is_maximal_in_prefix(graph, candidate, prefix):
+                    emit(frozenset(candidate))
+                else:
+                    stats.non_maximal_discarded += 1
+        current = list(next_level)
+    stats.sets_enumerated = len(current)
+    return current
+
+
+def _is_maximal_in_prefix(
+    graph: ViolationGraph, candidate: Set[int], prefix: Sequence[int]
+) -> bool:
+    """Maximality of *candidate* within the induced prefix subgraph."""
+    for v in prefix:
+        if v in candidate:
+            continue
+        adjacency = graph.neighbors(v)
+        if not any(member in adjacency for member in candidate):
+            return False
+    return True
+
+
+def brute_force_maximal_independent_sets(
+    graph: ViolationGraph, vertices: Optional[Sequence[int]] = None
+) -> List[FrozenSet[int]]:
+    """Reference enumerator by subset expansion (test oracle only).
+
+    Exponential in the vertex count; used to cross-check the expansion
+    algorithm on small graphs.
+    """
+    order = list(vertices) if vertices is not None else list(range(len(graph)))
+    results: Set[FrozenSet[int]] = set()
+
+    def extend(candidate: Set[int], remaining: List[int]) -> None:
+        if not remaining:
+            if _is_maximal_in_prefix(graph, candidate, order):
+                results.add(frozenset(candidate))
+            return
+        vertex, rest = remaining[0], remaining[1:]
+        adjacency = graph.neighbors(vertex)
+        if not any(member in adjacency for member in candidate):
+            extend(candidate | {vertex}, rest)
+        extend(candidate, rest)
+
+    if order:
+        extend(set(), order)
+    return sorted(results, key=lambda s: sorted(s))
+
+
+def best_maximal_independent_set(
+    graph: ViolationGraph,
+    vertices: Optional[Sequence[int]] = None,
+    prune: bool = True,
+    max_nodes: Optional[int] = None,
+    stats: Optional[ExpansionStats] = None,
+) -> FrozenSet[int]:
+    """The independent set whose induced repair is cheapest (Theorem 2)."""
+    order = list(vertices) if vertices is not None else list(range(len(graph)))
+    candidates = enumerate_maximal_independent_sets(
+        graph, order, prune=prune, max_nodes=max_nodes, stats=stats
+    )
+    if not candidates:
+        raise ValueError("no vertices to enumerate over")
+    best: Optional[FrozenSet[int]] = None
+    best_cost = float("inf")
+    for candidate in candidates:
+        cost = _assignment_cost(graph, order, candidate)
+        if cost < best_cost - 1e-12 or (
+            abs(cost - best_cost) <= 1e-12
+            and best is not None
+            and sorted(candidate) < sorted(best)
+        ):
+            best, best_cost = candidate, cost
+    assert best is not None
+    return best
+
+
+def _assignment_cost(
+    graph: ViolationGraph, vertices: Sequence[int], independent: FrozenSet[int]
+) -> float:
+    """Grouped repair cost of fixing all of *vertices* with *independent*."""
+    total = 0.0
+    members = list(independent)
+    for v in vertices:
+        if v in independent:
+            continue
+        adjacency = graph.neighbors(v)
+        neighbor_members = [u for u in members if u in adjacency]
+        pool = neighbor_members if neighbor_members else members
+        total += graph.multiplicity(v) * min(graph.pair_cost(v, u) for u in pool)
+    return total

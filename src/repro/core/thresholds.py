@@ -1,0 +1,167 @@
+"""Threshold (tau) selection, Section 2.1.
+
+The paper's recipe: compute the pairwise projection distances, sort them
+ascending, and when the difference between two adjacent values "suddenly
+becomes large", take the smaller value as tau. Erroneous pairs (typos,
+single-cell swaps) sit well below legitimate pattern pairs, so the
+distribution is bimodal and the largest gap separates the modes.
+
+:func:`suggest_threshold` implements the gap rule on a distance sample;
+:func:`suggest_threshold_for_fd` wires it to a relation + FD, sampling
+pattern pairs when the instance is large. The paper also notes tau can be
+"conservatively decreased" to favour precision — callers do that by
+passing ``ceiling``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.violation import group_patterns
+from repro.dataset.relation import Relation
+from repro.utils.rng import SeedLike, make_rng
+
+#: Sentinel ceiling: cap the gap search at the median positive pairwise
+#: distance. Legitimate pattern pairs vastly outnumber error pairs, so
+#: the median sits inside the legitimate cluster and the gap found below
+#: it separates errors from the legitimate lower tail — the paper's
+#: "conservatively decrease tau" guidance, made automatic.
+MEDIAN = "median"
+
+
+def suggest_threshold(
+    distances: Sequence[float],
+    floor: float = 0.0,
+    ceiling: Optional[float] = None,
+) -> float:
+    """Pick tau at the largest gap of the sorted, positive *distances*.
+
+    Parameters
+    ----------
+    distances:
+        Pairwise projection distances; zeros (identical projections) are
+        ignored — identical projections are never violations.
+    floor:
+        Minimum tau to return; e.g. the Theorem 1 bound ``w_r * |Y|``
+        when classic violations must be subsumed.
+    ceiling:
+        Distances above this value are discarded before looking for the
+        gap (they are known-legitimate pairs); also upper-bounds the
+        returned tau.
+
+    >>> suggest_threshold([0.05, 0.08, 0.1, 0.62, 0.7])
+    0.1
+    """
+    cleaned = sorted(
+        d
+        for d in distances
+        if d > 0.0 and (ceiling is None or d <= ceiling)
+    )
+    if not cleaned:
+        return floor
+    distinct: List[float] = []
+    for d in cleaned:
+        if not distinct or d > distinct[-1] + 1e-12:
+            distinct.append(d)
+    if len(distinct) == 1:
+        tau = distinct[0]
+    else:
+        best_gap = -1.0
+        tau = distinct[0]
+        for lower, upper in zip(distinct, distinct[1:]):
+            gap = upper - lower
+            if gap > best_gap:
+                best_gap = gap
+                tau = lower
+    tau = max(tau, floor)
+    if ceiling is not None:
+        tau = min(tau, ceiling)
+    return tau
+
+
+def pairwise_distance_sample(
+    relation: Relation,
+    fd: FD,
+    model: DistanceModel,
+    max_pairs: int = 20000,
+    rng: SeedLike = None,
+) -> List[float]:
+    """Projection distances of (a sample of) pattern pairs of *fd*.
+
+    All pairs are used when their count is at most *max_pairs*;
+    otherwise a uniform random sample of pairs is drawn.
+    """
+    patterns = group_patterns(relation, fd)
+    n = len(patterns)
+    total_pairs = n * (n - 1) // 2
+    lhs, rhs = fd.lhs, fd.rhs
+
+    def distance(i: int, j: int) -> float:
+        return model.projection_distance(
+            lhs, rhs, patterns[i].values, patterns[j].values
+        )
+
+    if total_pairs <= max_pairs:
+        return [distance(i, j) for i in range(n) for j in range(i + 1, n)]
+    random_state = make_rng(rng)
+    out: List[float] = []
+    for _ in range(max_pairs):
+        i = random_state.randrange(n)
+        j = random_state.randrange(n - 1)
+        if j >= i:
+            j += 1
+        out.append(distance(i, j))
+    return out
+
+
+CeilingLike = Union[None, float, str]
+
+
+def _resolve_ceiling(ceiling: CeilingLike, sample: Sequence[float]) -> Optional[float]:
+    if ceiling != MEDIAN:
+        return ceiling  # type: ignore[return-value]
+    positive = sorted(d for d in sample if d > 0)
+    if not positive:
+        return None
+    return positive[len(positive) // 2]
+
+
+def suggest_threshold_for_fd(
+    relation: Relation,
+    fd: FD,
+    model: DistanceModel,
+    floor: float = 0.0,
+    ceiling: CeilingLike = MEDIAN,
+    max_pairs: int = 20000,
+    rng: SeedLike = None,
+) -> float:
+    """The gap-rule tau for one FD on one relation.
+
+    *ceiling* may be a number, ``None`` (no cap — the paper's literal
+    rule), or :data:`MEDIAN` (default; see its docstring).
+    """
+    sample = pairwise_distance_sample(relation, fd, model, max_pairs, rng)
+    return suggest_threshold(
+        sample, floor=floor, ceiling=_resolve_ceiling(ceiling, sample)
+    )
+
+
+def suggest_thresholds(
+    relation: Relation,
+    fds: Sequence[FD],
+    model: DistanceModel,
+    floor: float = 0.0,
+    ceiling: CeilingLike = MEDIAN,
+    max_pairs: int = 20000,
+    rng: SeedLike = None,
+) -> Dict[FD, float]:
+    """Per-constraint taus — the paper sets a different tau per FD."""
+    random_state = make_rng(rng)
+    return {
+        fd: suggest_threshold_for_fd(
+            relation, fd, model, floor, ceiling, max_pairs, random_state
+        )
+        for fd in fds
+    }

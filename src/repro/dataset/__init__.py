@@ -1,0 +1,51 @@
+"""Dataset substrate: relations, CSV I/O, and the paper's running example.
+
+The :mod:`repro.dataset.citizens` symbols are re-exported lazily (PEP
+562): that module builds FDs and therefore imports :mod:`repro.core`,
+which in turn needs :mod:`repro.dataset.relation` — eager imports here
+would cycle.
+"""
+
+from repro.dataset.relation import NUMERIC, STRING, Attribute, Cell, Relation, Schema
+from repro.dataset.csvio import read_csv, write_csv
+from repro.dataset.profile import (
+    ColumnProfile,
+    profile_column,
+    profile_relation,
+    render_profile,
+    suggest_numeric,
+)
+
+_CITIZENS_EXPORTS = (
+    "citizens_dirty",
+    "citizens_clean",
+    "CITIZENS_FDS",
+    "CITIZENS_SCHEMA",
+    "CITIZENS_ERRORS",
+    "CITIZENS_THRESHOLDS",
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Relation",
+    "Cell",
+    "STRING",
+    "NUMERIC",
+    "read_csv",
+    "write_csv",
+    "ColumnProfile",
+    "profile_column",
+    "profile_relation",
+    "render_profile",
+    "suggest_numeric",
+    *_CITIZENS_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _CITIZENS_EXPORTS:
+        from repro.dataset import citizens
+
+        return getattr(citizens, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

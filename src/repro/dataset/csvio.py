@@ -1,0 +1,68 @@
+"""CSV round-trip for relations.
+
+Small, explicit wrappers over the standard :mod:`csv` module so
+experiments can persist generated instances and users can load their own
+data without pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.dataset.relation import Attribute, NUMERIC, Relation, Schema, STRING
+
+PathLike = Union[str, Path]
+
+
+def read_csv(
+    path: PathLike,
+    schema: Optional[Schema] = None,
+    numeric: Sequence[str] = (),
+) -> Relation:
+    """Load a relation from a headered CSV file.
+
+    When *schema* is omitted, one is built from the header row: columns
+    named in *numeric* become numeric attributes, everything else is a
+    string attribute.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV, expected a header row") from None
+        if schema is None:
+            numeric_set = set(numeric)
+            schema = Schema(
+                Attribute(name, NUMERIC if name in numeric_set else STRING)
+                for name in header
+            )
+        elif list(schema.names) != header:
+            raise ValueError(
+                f"{path}: header {header} does not match schema {list(schema.names)}"
+            )
+        relation = Relation(schema)
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(schema)} fields, got {len(row)}"
+                )
+            relation.append(row)
+    return relation
+
+
+def write_csv(relation: Relation, path: PathLike) -> None:
+    """Write a relation to a headered CSV file."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation:
+            writer.writerow(_render(value) for value in row)
+
+
+def _render(value: object) -> object:
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value

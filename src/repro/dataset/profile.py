@@ -1,0 +1,125 @@
+"""Column profiling: the quick look before declaring constraints.
+
+Choosing FDs, thresholds and numeric attributes requires knowing the
+data's shape — uniqueness ratios (key-like columns make trivial FDs),
+value-length spreads (typo distances scale with length), emptiness.
+:func:`profile_relation` computes per-column statistics and renders them
+as a table; :func:`suggest_numeric` flags string columns that look
+numeric (a common CSV-loading mistake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dataset.relation import NUMERIC, Relation
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Statistics of one column."""
+
+    name: str
+    kind: str
+    distinct: int
+    uniqueness: float  # distinct / rows
+    empty: int  # empty-string (or NaN-like) cells
+    min_length: int  # string columns: value lengths; numeric: 0
+    max_length: int
+    most_common: object
+    most_common_count: int
+
+    @property
+    def is_key_like(self) -> bool:
+        """Nearly one distinct value per row."""
+        return self.uniqueness > 0.9
+
+    @property
+    def is_constant(self) -> bool:
+        return self.distinct <= 1
+
+
+def profile_column(relation: Relation, name: str) -> ColumnProfile:
+    """Profile a single column of *relation*."""
+    kind = relation.schema.kind_of(name)
+    counts = relation.value_counts([name])
+    rows = len(relation)
+    distinct = len(counts)
+    if counts:
+        (most_common,), most_common_count = max(
+            counts.items(), key=lambda kv: (kv[1], repr(kv[0]))
+        )
+    else:
+        most_common, most_common_count = None, 0
+    empty = sum(
+        c for (value,), c in counts.items()
+        if value == "" or value is None
+    )
+    if kind == NUMERIC or not counts:
+        min_length = max_length = 0
+    else:
+        lengths = [len(str(value)) for (value,) in counts]
+        min_length, max_length = min(lengths), max(lengths)
+    return ColumnProfile(
+        name=name,
+        kind=kind,
+        distinct=distinct,
+        uniqueness=distinct / rows if rows else 0.0,
+        empty=empty,
+        min_length=min_length,
+        max_length=max_length,
+        most_common=most_common,
+        most_common_count=most_common_count,
+    )
+
+
+def profile_relation(relation: Relation) -> List[ColumnProfile]:
+    """Profile every column, in schema order."""
+    return [profile_column(relation, name) for name in relation.schema.names]
+
+
+def suggest_numeric(relation: Relation) -> List[str]:
+    """String columns whose every non-empty value parses as a number.
+
+    These were probably meant to be numeric — pass them to
+    ``read_csv(..., numeric=suggest_numeric(...))`` on reload.
+    """
+    out: List[str] = []
+    for name in relation.schema.names:
+        if relation.schema.kind_of(name) == NUMERIC:
+            continue
+        values = [v for v in relation.active_domain(name) if v != ""]
+        if not values:
+            continue
+        try:
+            for value in values:
+                float(value)
+        except (TypeError, ValueError):
+            continue
+        out.append(name)
+    return out
+
+
+def render_profile(profiles: List[ColumnProfile]) -> str:
+    """The profile as a fixed-width table."""
+    # imported lazily: repro.eval pulls in repro.core, which needs
+    # repro.dataset — an eager import here would cycle at package init
+    from repro.eval.reporting import format_table
+
+    rows = [
+        [
+            p.name,
+            p.kind,
+            str(p.distinct),
+            f"{p.uniqueness:.2f}",
+            str(p.empty),
+            f"{p.min_length}-{p.max_length}" if p.kind != NUMERIC else "-",
+            "key" if p.is_key_like else ("const" if p.is_constant else ""),
+        ]
+        for p in profiles
+    ]
+    return format_table(
+        ["column", "kind", "distinct", "uniq", "empty", "len", "flags"],
+        rows,
+    )

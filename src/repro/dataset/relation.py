@@ -1,0 +1,303 @@
+"""In-memory relational substrate.
+
+The paper's repair model operates on a single relation instance ``D`` of a
+schema ``R``: cells are addressed by (tuple id, attribute), attributes are
+typed *string* or *numeric* (the distance function dispatches on the
+type), and the **closed-world** repair model restricts repaired values to
+the *active domain* of each attribute — the set of values that already
+occur in ``D``.
+
+pandas is not available in this environment, so this module provides the
+small, typed table abstraction the rest of the library builds on:
+
+* :class:`Attribute` — a named, typed column.
+* :class:`Schema` — an ordered attribute list with name -> index lookup.
+* :class:`Relation` — row-major value storage with cell get/set, active
+  domains, numeric ranges (for normalized Euclidean distance) and
+  projection helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: Attribute kinds understood by the distance model.
+STRING = "string"
+NUMERIC = "numeric"
+
+_VALID_KINDS = (STRING, NUMERIC)
+
+#: A cell address: (tuple id, attribute name).
+Cell = Tuple[int, str]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation.
+
+    ``kind`` is either :data:`STRING` (compared with normalized edit
+    distance) or :data:`NUMERIC` (compared with normalized Euclidean
+    distance), mirroring Eq. (1) of the paper.
+    """
+
+    name: str
+    kind: str = STRING
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"attribute {self.name!r} has unknown kind {self.kind!r}; "
+                f"expected one of {_VALID_KINDS}"
+            )
+
+
+class Schema:
+    """An ordered collection of :class:`Attribute` with fast name lookup."""
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        self.attributes: Tuple[Attribute, ...] = tuple(attributes)
+        if not self.attributes:
+            raise ValueError("a schema needs at least one attribute")
+        self._index: Dict[str, int] = {}
+        for pos, attr in enumerate(self.attributes):
+            if attr.name in self._index:
+                raise ValueError(f"duplicate attribute name {attr.name!r}")
+            self._index[attr.name] = pos
+
+    @classmethod
+    def of(cls, *names: str, numeric: Sequence[str] = ()) -> "Schema":
+        """Build a schema from attribute *names*.
+
+        Attributes listed in *numeric* get the :data:`NUMERIC` kind, the
+        rest are :data:`STRING`.
+
+        >>> Schema.of("City", "State", "Level", numeric=["Level"]).names
+        ('City', 'State', 'Level')
+        """
+        numeric_set = set(numeric)
+        unknown = numeric_set.difference(names)
+        if unknown:
+            raise ValueError(f"numeric attributes not in schema: {sorted(unknown)}")
+        return cls(
+            Attribute(n, NUMERIC if n in numeric_set else STRING) for n in names
+        )
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(a.name for a in self.attributes)
+
+    def index_of(self, name: str) -> int:
+        """Position of attribute *name*; raises ``KeyError`` if absent."""
+        return self._index[name]
+
+    def indexes_of(self, names: Iterable[str]) -> Tuple[int, ...]:
+        """Positions of several attributes, preserving the given order."""
+        return tuple(self._index[n] for n in names)
+
+    def kind_of(self, name: str) -> str:
+        """The kind (:data:`STRING` / :data:`NUMERIC`) of attribute *name*."""
+        return self.attributes[self._index[name]].kind
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{a.name}:{a.kind}" for a in self.attributes)
+        return f"Schema({cols})"
+
+
+class Relation:
+    """A mutable, row-major relation instance.
+
+    Rows are lists of values indexed by schema position; tuple ids are the
+    0-based row positions and remain stable (the repair model modifies
+    values, it never inserts or deletes tuples).
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = ()) -> None:
+        self.schema = schema
+        self._rows: List[List[Any]] = []
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls, schema: Schema, records: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from mapping records keyed by attribute name."""
+        rel = cls(schema)
+        for record in records:
+            rel.append([record[name] for name in schema.names])
+        return rel
+
+    def append(self, row: Sequence[Any]) -> int:
+        """Append *row* (schema order) and return its tuple id."""
+        if len(row) != len(self.schema):
+            raise ValueError(
+                f"row has {len(row)} values, schema has {len(self.schema)}"
+            )
+        coerced = [
+            self._coerce(value, attr) for value, attr in zip(row, self.schema)
+        ]
+        self._rows.append(coerced)
+        return len(self._rows) - 1
+
+    @staticmethod
+    def _coerce(value: Any, attr: Attribute) -> Any:
+        if attr.kind == NUMERIC:
+            if isinstance(value, bool):
+                raise TypeError(f"boolean value for numeric attribute {attr.name!r}")
+            return float(value)
+        return str(value)
+
+    def copy(self) -> "Relation":
+        """Deep-copy the rows (schema objects are shared, they are immutable)."""
+        clone = Relation(self.schema)
+        clone._rows = [list(row) for row in self._rows]
+        return clone
+
+    # ------------------------------------------------------------------
+    # Cell access
+    # ------------------------------------------------------------------
+    def value(self, tid: int, attribute: str) -> Any:
+        """Value of the cell (*tid*, *attribute*)."""
+        return self._rows[tid][self.schema.index_of(attribute)]
+
+    def set_value(self, tid: int, attribute: str, value: Any) -> None:
+        """Overwrite the cell (*tid*, *attribute*) with *value*."""
+        pos = self.schema.index_of(attribute)
+        self._rows[tid][pos] = self._coerce(value, self.schema.attributes[pos])
+
+    def row(self, tid: int) -> Tuple[Any, ...]:
+        """The full tuple with id *tid*, in schema order."""
+        return tuple(self._rows[tid])
+
+    def record(self, tid: int) -> Dict[str, Any]:
+        """The tuple with id *tid* as an attribute-name-keyed dict."""
+        return dict(zip(self.schema.names, self._rows[tid]))
+
+    def project(self, tid: int, attributes: Sequence[str]) -> Tuple[Any, ...]:
+        """Projection of tuple *tid* on *attributes* (given order)."""
+        row = self._rows[tid]
+        return tuple(row[self.schema.index_of(a)] for a in attributes)
+
+    def project_indexes(self, tid: int, indexes: Sequence[int]) -> Tuple[Any, ...]:
+        """Projection by pre-resolved schema positions (hot path)."""
+        row = self._rows[tid]
+        return tuple(row[i] for i in indexes)
+
+    # ------------------------------------------------------------------
+    # Domains and statistics
+    # ------------------------------------------------------------------
+    def active_domain(self, attribute: str) -> List[Any]:
+        """Distinct values of *attribute* in first-occurrence order.
+
+        This is the closed-world candidate pool for repairs of that
+        attribute (Section 2.2).
+        """
+        pos = self.schema.index_of(attribute)
+        seen: Dict[Any, None] = {}
+        for row in self._rows:
+            seen.setdefault(row[pos])
+        return list(seen)
+
+    def value_range(self, attribute: str) -> float:
+        """max - min of a numeric attribute; the Euclidean normalizer.
+
+        Returns 0.0 for an empty relation or a constant column.
+        """
+        if self.schema.kind_of(attribute) != NUMERIC:
+            raise TypeError(f"attribute {attribute!r} is not numeric")
+        pos = self.schema.index_of(attribute)
+        if not self._rows:
+            return 0.0
+        values = [row[pos] for row in self._rows]
+        return float(max(values) - min(values))
+
+    def value_counts(self, attributes: Sequence[str]) -> Dict[Tuple[Any, ...], int]:
+        """Frequency of each distinct projection on *attributes*."""
+        idx = self.schema.indexes_of(attributes)
+        counts: Dict[Tuple[Any, ...], int] = {}
+        for row in self._rows:
+            key = tuple(row[i] for i in idx)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return (tuple(row) for row in self._rows)
+
+    def tids(self) -> range:
+        """All tuple ids."""
+        return range(len(self._rows))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema == other.schema and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Relation({len(self)} tuples, {len(self.schema)} attributes)"
+
+    # ------------------------------------------------------------------
+    # Pretty printing (used by examples and reports)
+    # ------------------------------------------------------------------
+    def to_text(self, limit: Optional[int] = None) -> str:
+        """Render the relation as a fixed-width text table."""
+        names = self.schema.names
+        rows = self._rows if limit is None else self._rows[:limit]
+        rendered = [[_fmt(v) for v in row] for row in rows]
+        widths = [
+            max(len(name), *(len(r[i]) for r in rendered)) if rendered else len(name)
+            for i, name in enumerate(names)
+        ]
+        header = "  ".join(n.ljust(w) for n, w in zip(names, widths))
+        rule = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in rendered
+        ]
+        lines = [header, rule, *body]
+        if limit is not None and len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more)")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,15 @@
+"""Constraint discovery: mine candidate FDs from the data itself.
+
+The paper assumes the FDs are given; real deployments rarely have them
+written down. This package mines approximate functional dependencies
+directly from a (possibly dirty) instance so the repair engine has
+something to enforce.
+"""
+
+from repro.discovery.fds import (
+    CandidateFD,
+    discover_fds,
+    fd_violation_rate,
+)
+
+__all__ = ["discover_fds", "CandidateFD", "fd_violation_rate"]

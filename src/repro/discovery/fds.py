@@ -1,0 +1,144 @@
+"""Approximate FD discovery (lattice search with g3 error).
+
+A candidate ``X -> A`` is scored with the classic **g3 error**: the
+minimum fraction of tuples that must be removed for the dependency to
+hold exactly,
+
+    g3(X -> A) = 1 - (sum over X-groups of the dominant A-count) / N.
+
+On clean data g3 is 0; on dirty data a true dependency has a small
+positive g3 (the errors), while a coincidental one scores high. The
+search walks LHS combinations level-wise (singletons first) and applies
+two classic prunings:
+
+* **minimality** — once ``X -> A`` is accepted, no superset of ``X`` is
+  considered for ``A``;
+* **key skipping** (optional) — near-unique LHS columns determine
+  everything trivially and near-unique RHS columns are determined by
+  nothing meaningfully; both are filtered by ``max_uniqueness``.
+
+This is the pragmatic core of TANE-style discovery, sized for the
+repair workflow: feed the result to
+:class:`~repro.core.engine.Repairer`, ideally after human review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.constraints import FD
+from repro.dataset.relation import Relation
+
+
+@dataclass(frozen=True)
+class CandidateFD:
+    """A discovered dependency with its evidence."""
+
+    fd: FD
+    violation_rate: float  # g3 error in [0, 1]
+    support: int  # tuples in LHS groups of size >= 2 (the evidence base)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fd} (g3={self.violation_rate:.4f}, "
+            f"support={self.support})"
+        )
+
+
+def fd_violation_rate(relation: Relation, fd: FD) -> float:
+    """The g3 error of *fd* on *relation* (0 = holds exactly)."""
+    if not len(relation):
+        return 0.0
+    lhs_idx = relation.schema.indexes_of(fd.lhs)
+    rhs_idx = relation.schema.indexes_of(fd.rhs)
+    groups: Dict[Tuple, Dict[Tuple, int]] = {}
+    for tid in relation.tids():
+        lhs = relation.project_indexes(tid, lhs_idx)
+        rhs = relation.project_indexes(tid, rhs_idx)
+        groups.setdefault(lhs, {})
+        groups[lhs][rhs] = groups[lhs].get(rhs, 0) + 1
+    kept = sum(max(counts.values()) for counts in groups.values())
+    return 1.0 - kept / len(relation)
+
+
+def _support(relation: Relation, lhs: Sequence[str]) -> int:
+    """Tuples that share their LHS value with at least one other tuple."""
+    counts = relation.value_counts(list(lhs))
+    return sum(c for c in counts.values() if c >= 2)
+
+
+def discover_fds(
+    relation: Relation,
+    max_lhs: int = 2,
+    max_violation_rate: float = 0.05,
+    min_support: int = 2,
+    max_uniqueness: float = 0.9,
+    attributes: Sequence[str] = (),
+) -> List[CandidateFD]:
+    """Mine approximate FDs from *relation*.
+
+    Parameters
+    ----------
+    max_lhs:
+        Largest LHS size to consider.
+    max_violation_rate:
+        Accept candidates with g3 error at most this (0.05 tolerates 5%
+        dirty cells — align with your expected error rate).
+    min_support:
+        Minimum number of tuples inside multi-tuple LHS groups; below it
+        the dependency is vacuous (every group a singleton).
+    max_uniqueness:
+        Columns whose distinct-value ratio exceeds this are skipped as
+        LHS singleton *and* RHS (key-like columns yield trivial FDs).
+        Multi-attribute LHS combinations are also dropped when their
+        combined uniqueness exceeds it.
+    attributes:
+        Restrict the search to these columns (default: all).
+
+    Returns candidates sorted by (LHS size, violation rate, name) —
+    smallest, cleanest first.
+    """
+    if not 0.0 <= max_violation_rate < 1.0:
+        raise ValueError("max_violation_rate must be in [0, 1)")
+    if max_lhs < 1:
+        raise ValueError("max_lhs must be >= 1")
+    names = list(attributes) if attributes else list(relation.schema.names)
+    unknown = [a for a in names if a not in relation.schema]
+    if unknown:
+        raise KeyError(f"unknown attribute(s): {unknown}")
+    n = len(relation)
+    if n == 0:
+        return []
+
+    uniqueness = {
+        a: len(relation.active_domain(a)) / n for a in names
+    }
+    usable = [a for a in names if uniqueness[a] <= max_uniqueness]
+
+    found: List[CandidateFD] = []
+    #: RHS attr -> list of accepted LHS sets (for minimality pruning)
+    accepted: Dict[str, List[frozenset]] = {}
+
+    for size in range(1, max_lhs + 1):
+        for lhs in combinations(usable, size):
+            lhs_set = frozenset(lhs)
+            support = _support(relation, lhs)
+            if support < min_support:
+                continue
+            if len(relation.value_counts(list(lhs))) / n > max_uniqueness:
+                continue  # (near-)key combination: trivial
+            for rhs in usable:
+                if rhs in lhs_set:
+                    continue
+                if any(base <= lhs_set for base in accepted.get(rhs, ())):
+                    continue  # a subset already determines rhs
+                fd = FD(tuple(lhs), (rhs,))
+                rate = fd_violation_rate(relation, fd)
+                if rate <= max_violation_rate + 1e-12:
+                    accepted.setdefault(rhs, []).append(lhs_set)
+                    found.append(CandidateFD(fd, rate, support))
+
+    found.sort(key=lambda c: (len(c.fd.lhs), c.violation_rate, c.fd.name))
+    return found

@@ -1,0 +1,34 @@
+"""Experiment harness: quality metrics, trial runner, text reporting."""
+
+from repro.eval.explain import RepairReport, repair_report
+from repro.eval.review import RankedEdit, ReviewQueue, rank_repairs
+from repro.eval.metrics import RepairQuality, evaluate_repair
+from repro.eval.runner import (
+    DATASETS,
+    SYSTEMS,
+    Trial,
+    TrialResult,
+    run_trial,
+    sweep,
+)
+from repro.eval.reporting import format_by_system, format_chart, format_series, format_table
+
+__all__ = [
+    "RepairQuality",
+    "RepairReport",
+    "repair_report",
+    "RankedEdit",
+    "ReviewQueue",
+    "rank_repairs",
+    "evaluate_repair",
+    "Trial",
+    "TrialResult",
+    "run_trial",
+    "sweep",
+    "DATASETS",
+    "SYSTEMS",
+    "format_table",
+    "format_by_system",
+    "format_chart",
+    "format_series",
+]

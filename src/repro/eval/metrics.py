@@ -1,0 +1,84 @@
+"""Repair-quality metrics (Section 6.1).
+
+* **precision** — correctly repaired cells / all repaired cells;
+* **recall** — correctly repaired cells / all erroneous cells;
+* **F1** — their harmonic mean.
+
+A repair of cell c is *correct* when it restores the injected ground
+truth. Cells repaired to a Llunatic variable earn 0.5 when they were
+truly erroneous (the paper's "Metric 0.5" for partial repairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Set
+
+from repro.core.repair import CellEdit
+from repro.dataset.relation import Cell
+
+
+@dataclass(frozen=True)
+class RepairQuality:
+    """Precision / recall / F1 plus the raw counts behind them."""
+
+    precision: float
+    recall: float
+    f1: float
+    repaired_cells: int
+    credit: float
+    true_errors: int
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"({self.repaired_cells} repairs, {self.true_errors} errors)"
+        )
+
+
+def evaluate_repair(
+    edits: Iterable[CellEdit],
+    truth: Mapping[Cell, object],
+    variables: Optional[Set[Cell]] = None,
+) -> RepairQuality:
+    """Score a repair against the injected-error ground truth.
+
+    Parameters
+    ----------
+    edits:
+        The cell rewrites the system performed.
+    truth:
+        cell -> clean value, for every injected error.
+    variables:
+        Cells the system repaired to a variable/placeholder rather than
+        a constant (Llunatic's lluns); each earns 0.5 when the cell was
+        truly erroneous.
+    """
+    variables = variables or set()
+    edits = list(edits)
+    credit = 0.0
+    for edit in edits:
+        cell = edit.cell
+        if cell in variables:
+            if cell in truth:
+                credit += 0.5
+        elif cell in truth and _same(truth[cell], edit.new):
+            credit += 1.0
+    repaired = len(edits)
+    true_errors = len(truth)
+    precision = credit / repaired if repaired else 1.0
+    recall = credit / true_errors if true_errors else 1.0
+    if precision + recall > 0:
+        f1 = 2 * precision * recall / (precision + recall)
+    else:
+        f1 = 0.0
+    return RepairQuality(precision, recall, f1, repaired, credit, true_errors)
+
+
+def _same(a: object, b: object) -> bool:
+    """Value equality tolerant of float coercion (3 vs 3.0)."""
+    if a == b:
+        return True
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return float(a) == float(b)
+    return False

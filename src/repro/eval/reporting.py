@@ -1,0 +1,121 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each figure as the series the paper plots:
+one row per x-value, one column group per system. Everything is plain
+fixed-width text so results land legibly in pytest output and logs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.eval.runner import TrialResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A fixed-width table with a header rule."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), "  ".join("-" * w for w in widths)]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_series(
+    results: Sequence[TrialResult],
+    x_label: str,
+    x_of: Callable[[TrialResult], object],
+    metric: str = "precision",
+) -> str:
+    """Render one figure: x-axis values as rows, systems as columns.
+
+    *metric* is ``"precision"``, ``"recall"``, ``"f1"`` or ``"seconds"``.
+    """
+    systems: List[str] = []
+    xs: List[object] = []
+    for result in results:
+        if result.system not in systems:
+            systems.append(result.system)
+        x = x_of(result)
+        if x not in xs:
+            xs.append(x)
+    cell: Dict[tuple, str] = {}
+    for result in results:
+        value = _metric_of(result, metric)
+        cell[(x_of(result), result.system)] = value
+    rows = [
+        [str(x), *(cell.get((x, s), "-") for s in systems)]
+        for x in xs
+    ]
+    return format_table([x_label, *systems], rows)
+
+
+def _metric_of(result: TrialResult, metric: str) -> str:
+    if metric == "precision":
+        return f"{result.quality.precision:.3f}"
+    if metric == "recall":
+        return f"{result.quality.recall:.3f}"
+    if metric == "f1":
+        return f"{result.quality.f1:.3f}"
+    if metric == "seconds":
+        return f"{result.seconds:.3f}"
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def format_by_system(
+    results: Sequence[TrialResult], metrics: Sequence[str]
+) -> str:
+    """Render one row per system with the chosen metrics as columns.
+
+    The natural layout for Table 3 and the ablation reports, where the
+    x-axis *is* the system/variant.
+    """
+    rows = [
+        [result.system, *(_metric_of(result, metric) for metric in metrics)]
+        for result in results
+    ]
+    return format_table(["system", *metrics], rows)
+
+
+def format_chart(
+    results: Sequence[TrialResult],
+    x_of: Callable[[TrialResult], object],
+    metric: str = "precision",
+    width: int = 40,
+) -> str:
+    """A horizontal ASCII bar chart: one bar per (x, system) pair.
+
+    Complements :func:`format_series` for eyeballing shapes directly in
+    terminal output; quality metrics scale to [0, 1], timings to the
+    observed maximum.
+    """
+    entries: List[tuple] = []
+    for result in results:
+        raw = {
+            "precision": result.quality.precision,
+            "recall": result.quality.recall,
+            "f1": result.quality.f1,
+            "seconds": result.seconds,
+        }.get(metric)
+        if raw is None:
+            raise ValueError(f"unknown metric {metric!r}")
+        entries.append((x_of(result), result.system, raw))
+    if not entries:
+        return "(no data)"
+    scale_max = 1.0 if metric != "seconds" else max(v for *_r, v in entries)
+    if scale_max <= 0:
+        scale_max = 1.0
+    label_width = max(len(f"{x} {system}") for x, system, _ in entries)
+    lines = [f"[{metric}]"]
+    for x, system, value in entries:
+        bar = "#" * max(0, round(width * min(value, scale_max) / scale_max))
+        label = f"{x} {system}".ljust(label_width)
+        lines.append(f"{label} |{bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Confidence-ranked review of automatic repairs.
+
+The paper positions automatic repair as the fallback "when users do not
+have enough capacity" — which in practice means users review *some*
+repairs. This module ranks a repair's edits by confidence so the scarce
+reviewing budget goes to the doubtful ones, and applies only approved
+edits.
+
+Confidence heuristic: an edit that moves a value a *short* distance onto
+a *heavily supported* target (many tuples carry it) is a textbook typo
+fix; a long-distance rewrite onto a thinly supported value deserves
+eyes. Formally::
+
+    confidence(edit) = (1 - dist(old, new)) * support_weight
+
+with ``support_weight = support / (support + 1)`` where *support* is
+how many tuples carried the target value before the repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.distances import DistanceModel
+from repro.core.repair import CellEdit, RepairResult, apply_edits
+from repro.dataset.relation import Cell, Relation
+
+
+@dataclass(frozen=True)
+class RankedEdit:
+    """An edit with its review metadata."""
+
+    edit: CellEdit
+    confidence: float  # in [0, 1]; higher = safer to auto-apply
+    distance: float  # how far the value moved
+    support: int  # tuples carrying the target value pre-repair
+
+    def __str__(self) -> str:
+        return f"{self.edit}  (confidence {self.confidence:.2f})"
+
+
+def rank_repairs(
+    original: Relation,
+    result: RepairResult,
+    model: Optional[DistanceModel] = None,
+) -> List[RankedEdit]:
+    """Rank *result*'s edits, least confident first (review order)."""
+    model = model or DistanceModel(original)
+    support_index: Dict[Tuple[str, object], int] = {}
+    for attr in original.schema.names:
+        for tid in original.tids():
+            key = (attr, original.value(tid, attr))
+            support_index[key] = support_index.get(key, 0) + 1
+
+    ranked: List[RankedEdit] = []
+    for edit in result.edits:
+        distance = model.attribute_distance(edit.attribute, edit.old, edit.new)
+        support = support_index.get((edit.attribute, edit.new), 0)
+        confidence = (1.0 - distance) * (support / (support + 1.0))
+        ranked.append(RankedEdit(edit, confidence, distance, support))
+    ranked.sort(key=lambda r: (r.confidence, str(r.edit.cell)))
+    return ranked
+
+
+class ReviewQueue:
+    """Drive a human review session over a repair.
+
+    Typical use::
+
+        queue = ReviewQueue(original, result)
+        queue.auto_approve(min_confidence=0.8)   # trust the easy ones
+        for item in queue.pending():             # review the rest
+            queue.approve(item.edit.cell)        # or queue.reject(...)
+        cleaned = queue.apply()
+    """
+
+    def __init__(
+        self,
+        original: Relation,
+        result: RepairResult,
+        model: Optional[DistanceModel] = None,
+    ) -> None:
+        self._original = original
+        self._ranked = rank_repairs(original, result, model)
+        self._by_cell: Dict[Cell, RankedEdit] = {
+            item.edit.cell: item for item in self._ranked
+        }
+        self._approved: Set[Cell] = set()
+        self._rejected: Set[Cell] = set()
+
+    # ------------------------------------------------------------------
+    def pending(self) -> List[RankedEdit]:
+        """Undecided edits, least confident first."""
+        return [
+            item
+            for item in self._ranked
+            if item.edit.cell not in self._approved
+            and item.edit.cell not in self._rejected
+        ]
+
+    def approve(self, cell: Cell) -> None:
+        """Mark *cell*'s edit as approved."""
+        self._require_known(cell)
+        self._rejected.discard(cell)
+        self._approved.add(cell)
+
+    def reject(self, cell: Cell) -> None:
+        """Mark *cell*'s edit as rejected (the old value stays)."""
+        self._require_known(cell)
+        self._approved.discard(cell)
+        self._rejected.add(cell)
+
+    def auto_approve(self, min_confidence: float = 0.8) -> int:
+        """Approve every undecided edit at or above *min_confidence*."""
+        count = 0
+        for item in self.pending():
+            if item.confidence >= min_confidence:
+                self.approve(item.edit.cell)
+                count += 1
+        return count
+
+    def _require_known(self, cell: Cell) -> None:
+        if cell not in self._by_cell:
+            raise KeyError(f"no edit for cell {cell}")
+
+    # ------------------------------------------------------------------
+    @property
+    def approved_count(self) -> int:
+        return len(self._approved)
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self._rejected)
+
+    def apply(self) -> Relation:
+        """The original relation with only the approved edits applied."""
+        edits = [
+            self._by_cell[cell].edit
+            for cell in self._approved
+        ]
+        edits.sort(key=lambda e: (e.tid, e.attribute))
+        return apply_edits(self._original, edits)

@@ -1,0 +1,27 @@
+"""Synthetic workload generators (Section 6.1's HOSP and Tax stand-ins)."""
+
+from repro.generator.vocab import build_vocabulary, vocabulary_separation
+from repro.generator.entities import AttributeRole, EntityCatalog, FDSpec
+from repro.generator.noise import ErrorKind, InjectedError, NoiseConfig, inject_noise
+from repro.generator.hosp import HOSP_FDS, HOSP_SCHEMA, generate_hosp, hosp_thresholds
+from repro.generator.tax import TAX_FDS, TAX_SCHEMA, generate_tax, tax_thresholds
+
+__all__ = [
+    "build_vocabulary",
+    "vocabulary_separation",
+    "EntityCatalog",
+    "FDSpec",
+    "AttributeRole",
+    "inject_noise",
+    "NoiseConfig",
+    "InjectedError",
+    "ErrorKind",
+    "generate_hosp",
+    "HOSP_SCHEMA",
+    "HOSP_FDS",
+    "hosp_thresholds",
+    "generate_tax",
+    "TAX_SCHEMA",
+    "TAX_FDS",
+    "tax_thresholds",
+]

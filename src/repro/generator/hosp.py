@@ -1,0 +1,227 @@
+"""HOSP-like workload generator.
+
+The paper's HOSP dataset (US Dept. of Health & Human Services hospital
+quality data; 19 attributes, 9 FDs) is not redistributable, so this
+module generates an instance with the same *shape*: hospital facilities
+whose key-like attributes (provider number, phone, zip) functionally
+determine descriptive attributes (name, address, city, state, county,
+type, owner), plus quality measures (measure code determining name,
+condition and state average). See DESIGN.md for why the substitution
+preserves the evaluated behaviour: the experiments' signal is the
+injected noise, and the clean instance only needs to carry FD-governed
+redundancy with separable value geometry — which real HOSP has and this
+generator enforces.
+
+Attribute values come from :func:`repro.generator.vocab.build_vocabulary`
+with a 2-character domain prefix and 5-character suffixes at pairwise
+edit distance >= 3, pinning clean-pair distances into [3/7, 5/7]; the
+per-FD thresholds derived from that geometry provably separate
+single-cell corruptions from clean pattern pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.constraints import FD
+from repro.core.distances import Weights
+from repro.dataset.relation import Relation, Schema
+from repro.generator.entities import (
+    DomainGeometry,
+    EntityCatalog,
+    EntityClass,
+    analytic_threshold,
+)
+from repro.generator.vocab import build_vocabulary, numeric_domain
+from repro.utils.rng import SeedLike, make_rng
+
+_SUFFIX_LENGTH = 5
+_MIN_EDITS = 3
+_WORD_LENGTH = 2 + _SUFFIX_LENGTH  # 2-char prefix + suffix
+_STRING_GEOMETRY = DomainGeometry(
+    min_ned=_MIN_EDITS / _WORD_LENGTH,
+    max_ned=_SUFFIX_LENGTH / _WORD_LENGTH,
+)
+_UNBOUNDED = DomainGeometry(min_ned=None, max_ned=None)
+
+HOSP_SCHEMA = Schema.of(
+    "ProviderNumber",
+    "HospitalName",
+    "Address",
+    "City",
+    "State",
+    "ZipCode",
+    "CountyName",
+    "PhoneNumber",
+    "HospitalType",
+    "HospitalOwner",
+    "EmergencyService",
+    "Condition",
+    "MeasureCode",
+    "MeasureName",
+    "StateAvg",
+    "Score",
+    "Sample",
+    "Quarter",
+    "Source",
+    numeric=["StateAvg", "Score", "Sample"],
+)
+
+#: The nine FDs, in the order used by the #-FDs sweeps (Figs. 6/9/12/15).
+HOSP_FDS: List[FD] = [
+    FD.parse("ZipCode -> City, State", name="h1"),
+    FD.parse("PhoneNumber -> ZipCode", name="h2"),
+    FD.parse("ProviderNumber -> HospitalName, Address", name="h3"),
+    FD.parse("ProviderNumber -> PhoneNumber", name="h4"),
+    FD.parse("City -> CountyName", name="h5"),
+    FD.parse("ProviderNumber -> HospitalType, HospitalOwner", name="h6"),
+    FD.parse("MeasureCode -> MeasureName", name="h7"),
+    FD.parse("MeasureCode -> Condition", name="h8"),
+    FD.parse("MeasureCode -> StateAvg", name="h9"),
+]
+
+_FACILITY_ATTRS = (
+    "ProviderNumber",
+    "HospitalName",
+    "Address",
+    "City",
+    "State",
+    "ZipCode",
+    "CountyName",
+    "PhoneNumber",
+    "HospitalType",
+    "HospitalOwner",
+    "EmergencyService",
+)
+_MEASURE_ATTRS = ("MeasureCode", "MeasureName", "Condition", "StateAvg")
+
+_PREFIXES = {
+    "ProviderNumber": "pv",
+    "HospitalName": "hn",
+    "Address": "ad",
+    "City": "ct",
+    "State": "st",
+    "ZipCode": "zp",
+    "CountyName": "cn",
+    "PhoneNumber": "ph",
+    "HospitalType": "ht",
+    "HospitalOwner": "ho",
+    "EmergencyService": "es",
+    "MeasureCode": "mc",
+    "MeasureName": "mn",
+    "Condition": "cd",
+}
+
+#: Clean-pair distance geometry of every attribute (see module docstring).
+HOSP_GEOMETRY: Dict[str, DomainGeometry] = {
+    **{attr: _STRING_GEOMETRY for attr in _PREFIXES},
+    "StateAvg": _UNBOUNDED,
+    "Score": _UNBOUNDED,
+    "Sample": _UNBOUNDED,
+    "Quarter": _UNBOUNDED,
+    "Source": _UNBOUNDED,
+}
+
+
+def hosp_fds(count: Optional[int] = None) -> List[FD]:
+    """The first *count* FDs (all nine when omitted)."""
+    if count is None:
+        return list(HOSP_FDS)
+    if not 1 <= count <= len(HOSP_FDS):
+        raise ValueError(f"count must be in [1, {len(HOSP_FDS)}]")
+    return HOSP_FDS[:count]
+
+
+def hosp_thresholds(
+    fds: Optional[Sequence[FD]] = None, weights: Weights = Weights()
+) -> Dict[FD, float]:
+    """Analytic per-FD taus for HOSP instances."""
+    return {
+        fd: analytic_threshold(fd, HOSP_GEOMETRY, weights)
+        for fd in (fds if fds is not None else HOSP_FDS)
+    }
+
+
+def hosp_catalog(
+    n_facilities: int, n_measures: int, rng: SeedLike = None
+) -> EntityCatalog:
+    """Master tables for *n_facilities* hospitals and *n_measures* measures."""
+    random_state = make_rng(rng)
+    facility_columns = {
+        attr: build_vocabulary(
+            _PREFIXES[attr],
+            n_facilities,
+            suffix_length=_SUFFIX_LENGTH,
+            min_edits=_MIN_EDITS,
+            rng=random_state,
+        )
+        for attr in _FACILITY_ATTRS
+    }
+    measure_columns = {
+        attr: build_vocabulary(
+            _PREFIXES[attr],
+            n_measures,
+            suffix_length=_SUFFIX_LENGTH,
+            min_edits=_MIN_EDITS,
+            rng=random_state,
+        )
+        for attr in _MEASURE_ATTRS
+        if attr != "StateAvg"
+    }
+    state_avg = numeric_domain(n_measures, 50.0, 99.0, rng=random_state)
+    facilities = EntityClass(
+        "facility",
+        _FACILITY_ATTRS,
+        [
+            tuple(facility_columns[attr][i] for attr in _FACILITY_ATTRS)
+            for i in range(n_facilities)
+        ],
+    )
+    measures = EntityClass(
+        "measure",
+        _MEASURE_ATTRS,
+        [
+            (
+                measure_columns["MeasureCode"][i],
+                measure_columns["MeasureName"][i],
+                measure_columns["Condition"][i],
+                state_avg[i],
+            )
+            for i in range(n_measures)
+        ],
+    )
+    quarters = ["Q1", "Q2", "Q3", "Q4"]
+    return EntityCatalog(
+        schema=HOSP_SCHEMA,
+        entity_classes=[facilities, measures],
+        free_attributes={
+            "Score": lambda r: float(r.randint(0, 100)),
+            "Sample": lambda r: float(r.randint(10, 5000)),
+            "Quarter": lambda r: r.choice(quarters),
+            "Source": lambda r: r.choice(["survey", "claims"]),
+        },
+        geometry=dict(HOSP_GEOMETRY),
+    )
+
+
+def generate_hosp(
+    n: int,
+    rng: SeedLike = 0,
+    n_facilities: Optional[int] = None,
+    n_measures: Optional[int] = None,
+) -> Relation:
+    """A clean HOSP-like instance with *n* tuples.
+
+    Entity counts default to ~n/40 facilities and ~n/50 measures with a
+    mild Zipf skew, matching the multiplicity profile of the paper's
+    real data: every correct pattern is carried by dozens of tuples, so
+    the cost model anchors repairs on the truth rather than on cheap
+    typo variants (see DESIGN.md, "multiplicity geometry").
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    random_state = make_rng(rng)
+    n_facilities = n_facilities if n_facilities is not None else max(5, n // 40)
+    n_measures = n_measures if n_measures is not None else max(4, n // 50)
+    catalog = hosp_catalog(n_facilities, n_measures, rng=random_state)
+    return catalog.generate(n, rng=random_state)

@@ -1,0 +1,199 @@
+"""Error injection (Section 6.1's noise protocol).
+
+Errors are produced at rate ``e%`` — the fraction of dirty cells over
+all cells of FD-constrained attributes — in three equal shares:
+
+* **RHS errors**: a cell on the right-hand side of some FD is replaced
+  with a different value of the same attribute drawn from the relation
+  (active-domain replacement, "values in other tuples");
+* **LHS errors**: the same, for left-hand-side cells;
+* **typos**: one or two random character edits on a string cell
+  (numeric cells receive a small grid shift instead).
+
+Every injected error is logged with its clean value so precision/recall
+can be computed cell-exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import FD
+from repro.dataset.relation import Cell, NUMERIC, Relation
+from repro.utils.rng import SeedLike, make_rng
+
+
+class ErrorKind(Enum):
+    """The three noise flavours of the paper's protocol."""
+
+    RHS = "rhs"
+    LHS = "lhs"
+    TYPO = "typo"
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """One corrupted cell: where, what it was, what it became, and how."""
+
+    tid: int
+    attribute: str
+    clean: object
+    dirty: object
+    kind: ErrorKind
+
+    @property
+    def cell(self) -> Cell:
+        return (self.tid, self.attribute)
+
+
+@dataclass
+class NoiseConfig:
+    """Noise-injection knobs.
+
+    ``error_rate`` is e% as a fraction (0.04 == 4%). The three shares
+    must sum to 1; the paper uses equal thirds.
+    """
+
+    error_rate: float = 0.04
+    rhs_share: float = 1.0 / 3.0
+    lhs_share: float = 1.0 / 3.0
+    typo_share: float = 1.0 / 3.0
+    max_typo_edits: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        total = self.rhs_share + self.lhs_share + self.typo_share
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"noise shares must sum to 1, got {total}")
+
+
+def inject_noise(
+    relation: Relation,
+    fds: Sequence[FD],
+    config: NoiseConfig = NoiseConfig(),
+    rng: SeedLike = None,
+) -> Tuple[Relation, List[InjectedError]]:
+    """Return a corrupted copy of *relation* and the error log.
+
+    The input relation is treated as ground truth and never modified.
+    Each cell is corrupted at most once.
+    """
+    random_state = make_rng(rng)
+    dirty = relation.copy()
+
+    lhs_attrs = sorted({a for fd in fds for a in fd.lhs})
+    rhs_attrs = sorted({a for fd in fds for a in fd.rhs})
+    all_attrs = sorted(set(lhs_attrs) | set(rhs_attrs))
+    if not all_attrs:
+        return dirty, []
+
+    total_cells = len(relation) * len(all_attrs)
+    n_errors = int(round(config.error_rate * total_cells))
+    n_rhs = int(round(n_errors * config.rhs_share))
+    n_lhs = int(round(n_errors * config.lhs_share))
+    n_typo = n_errors - n_rhs - n_lhs
+
+    domains: Dict[str, List[object]] = {
+        attr: relation.active_domain(attr) for attr in all_attrs
+    }
+    used: Set[Cell] = set()
+    errors: List[InjectedError] = []
+
+    def corrupt(count: int, attrs: Sequence[str], kind: ErrorKind) -> None:
+        attempts = 0
+        budget = count * 50 + 100
+        placed = 0
+        while placed < count and attempts < budget:
+            attempts += 1
+            attr = attrs[random_state.randrange(len(attrs))]
+            tid = random_state.randrange(len(relation))
+            cell = (tid, attr)
+            if cell in used:
+                continue
+            clean = dirty.value(tid, attr)
+            if kind is ErrorKind.TYPO:
+                new = _typo(
+                    clean,
+                    relation,
+                    attr,
+                    config.max_typo_edits,
+                    random_state,
+                )
+            else:
+                new = _active_domain_swap(clean, domains[attr], random_state)
+            if new is None or new == clean:
+                continue
+            dirty.set_value(tid, attr, new)
+            used.add(cell)
+            errors.append(InjectedError(tid, attr, clean, new, kind))
+            placed += 1
+
+    corrupt(n_rhs, rhs_attrs, ErrorKind.RHS)
+    corrupt(n_lhs, lhs_attrs, ErrorKind.LHS)
+    corrupt(n_typo, all_attrs, ErrorKind.TYPO)
+    return dirty, errors
+
+
+def error_cells(errors: Sequence[InjectedError]) -> Dict[Cell, object]:
+    """cell -> clean value, the ground-truth view the metrics consume."""
+    return {error.cell: error.clean for error in errors}
+
+
+# ----------------------------------------------------------------------
+# Corruption primitives
+# ----------------------------------------------------------------------
+def _active_domain_swap(
+    clean: object, domain: Sequence[object], rng: random.Random
+) -> Optional[object]:
+    """A different value of the same attribute, or None when impossible."""
+    candidates = [value for value in domain if value != clean]
+    if not candidates:
+        return None
+    return candidates[rng.randrange(len(candidates))]
+
+
+_TYPO_ALPHABET = string.ascii_lowercase
+
+
+def _typo(
+    clean: object,
+    relation: Relation,
+    attribute: str,
+    max_edits: int,
+    rng: random.Random,
+) -> Optional[object]:
+    """One or two random character edits; numeric cells get a grid shift."""
+    if relation.schema.kind_of(attribute) == NUMERIC:
+        domain = sorted(set(relation.active_domain(attribute)))
+        if len(domain) < 2:
+            return None
+        index = domain.index(clean) if clean in domain else 0
+        neighbor = index + (1 if index + 1 < len(domain) else -1)
+        return domain[neighbor]
+    text = str(clean)
+    if not text:
+        return None
+    edits = rng.randint(1, max(1, max_edits))
+    for _ in range(edits):
+        text = _one_edit(text, rng)
+    return text
+
+
+def _one_edit(text: str, rng: random.Random) -> str:
+    operation = rng.randrange(3)
+    if operation == 0 and len(text) > 1:  # delete
+        pos = rng.randrange(len(text))
+        return text[:pos] + text[pos + 1 :]
+    if operation == 1:  # insert
+        pos = rng.randrange(len(text) + 1)
+        return text[:pos] + rng.choice(_TYPO_ALPHABET) + text[pos:]
+    pos = rng.randrange(len(text))  # substitute
+    replacement = rng.choice(_TYPO_ALPHABET)
+    while replacement == text[pos]:
+        replacement = rng.choice(_TYPO_ALPHABET)
+    return text[:pos] + replacement + text[pos + 1 :]

@@ -1,0 +1,200 @@
+"""Tax-like workload generator.
+
+The paper's Tax dataset comes from a non-distributable generator
+("each record represented an individual's address and tax information",
+9 FDs). This stand-in emits person records whose residence attributes
+(phone, area code, zip, city, state, county) and employment/filing
+attributes (employer id -> name/industry, filing code -> marital
+status/rate) obey 9 FDs with the same shape. The vocabulary geometry
+and threshold derivation mirror :mod:`repro.generator.hosp`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.constraints import FD
+from repro.core.distances import Weights
+from repro.dataset.relation import Relation, Schema
+from repro.generator.entities import (
+    DomainGeometry,
+    EntityCatalog,
+    EntityClass,
+    analytic_threshold,
+)
+from repro.generator.vocab import build_vocabulary, numeric_domain
+from repro.utils.rng import SeedLike, make_rng
+
+_SUFFIX_LENGTH = 5
+_MIN_EDITS = 3
+_WORD_LENGTH = 2 + _SUFFIX_LENGTH
+_STRING_GEOMETRY = DomainGeometry(
+    min_ned=_MIN_EDITS / _WORD_LENGTH,
+    max_ned=_SUFFIX_LENGTH / _WORD_LENGTH,
+)
+_UNBOUNDED = DomainGeometry(min_ned=None, max_ned=None)
+
+TAX_SCHEMA = Schema.of(
+    "FName",
+    "LName",
+    "Gender",
+    "AreaCode",
+    "Phone",
+    "City",
+    "State",
+    "ZipCode",
+    "County",
+    "EmployerID",
+    "EmployerName",
+    "Industry",
+    "FilingCode",
+    "MaritalStatus",
+    "Rate",
+    "Salary",
+    numeric=["Rate", "Salary"],
+)
+
+#: The nine FDs, in #-FDs sweep order.
+TAX_FDS: List[FD] = [
+    FD.parse("ZipCode -> City, State", name="x1"),
+    FD.parse("AreaCode -> City", name="x2"),
+    FD.parse("Phone -> AreaCode, ZipCode", name="x3"),
+    FD.parse("City -> County", name="x4"),
+    FD.parse("Phone -> State", name="x5"),
+    FD.parse("EmployerID -> EmployerName", name="x6"),
+    FD.parse("EmployerID -> Industry", name="x7"),
+    FD.parse("FilingCode -> MaritalStatus", name="x8"),
+    FD.parse("FilingCode -> Rate", name="x9"),
+]
+
+_RESIDENCE_ATTRS = ("Phone", "AreaCode", "ZipCode", "City", "State", "County")
+_EMPLOYER_ATTRS = ("EmployerID", "EmployerName", "Industry")
+_FILING_ATTRS = ("FilingCode", "MaritalStatus", "Rate")
+
+_PREFIXES = {
+    "Phone": "pn",
+    "AreaCode": "ar",
+    "ZipCode": "zc",
+    "City": "cy",
+    "State": "sa",
+    "County": "cu",
+    "EmployerID": "ei",
+    "EmployerName": "eb",
+    "Industry": "iy",
+    "FilingCode": "fg",
+    "MaritalStatus": "ml",
+}
+
+TAX_GEOMETRY: Dict[str, DomainGeometry] = {
+    **{attr: _STRING_GEOMETRY for attr in _PREFIXES},
+    "Rate": _UNBOUNDED,
+    "Salary": _UNBOUNDED,
+    "FName": _UNBOUNDED,
+    "LName": _UNBOUNDED,
+    "Gender": _UNBOUNDED,
+}
+
+
+def tax_fds(count: Optional[int] = None) -> List[FD]:
+    """The first *count* FDs (all nine when omitted)."""
+    if count is None:
+        return list(TAX_FDS)
+    if not 1 <= count <= len(TAX_FDS):
+        raise ValueError(f"count must be in [1, {len(TAX_FDS)}]")
+    return TAX_FDS[:count]
+
+
+def tax_thresholds(
+    fds: Optional[Sequence[FD]] = None, weights: Weights = Weights()
+) -> Dict[FD, float]:
+    """Analytic per-FD taus for Tax instances."""
+    return {
+        fd: analytic_threshold(fd, TAX_GEOMETRY, weights)
+        for fd in (fds if fds is not None else TAX_FDS)
+    }
+
+
+def tax_catalog(
+    n_residences: int,
+    n_employers: int,
+    n_filings: int,
+    rng: SeedLike = None,
+) -> EntityCatalog:
+    """Master tables for the three Tax entity classes."""
+    random_state = make_rng(rng)
+
+    def vocab(attr: str, count: int) -> List[str]:
+        return build_vocabulary(
+            _PREFIXES[attr],
+            count,
+            suffix_length=_SUFFIX_LENGTH,
+            min_edits=_MIN_EDITS,
+            rng=random_state,
+        )
+
+    residence_cols = {a: vocab(a, n_residences) for a in _RESIDENCE_ATTRS}
+    employer_cols = {a: vocab(a, n_employers) for a in _EMPLOYER_ATTRS}
+    filing_strings = {
+        a: vocab(a, n_filings) for a in _FILING_ATTRS if a != "Rate"
+    }
+    rates = numeric_domain(n_filings, 1.0, 12.0, rng=random_state)
+
+    residences = EntityClass(
+        "residence",
+        _RESIDENCE_ATTRS,
+        [
+            tuple(residence_cols[a][i] for a in _RESIDENCE_ATTRS)
+            for i in range(n_residences)
+        ],
+    )
+    employers = EntityClass(
+        "employer",
+        _EMPLOYER_ATTRS,
+        [
+            tuple(employer_cols[a][i] for a in _EMPLOYER_ATTRS)
+            for i in range(n_employers)
+        ],
+    )
+    filings = EntityClass(
+        "filing",
+        _FILING_ATTRS,
+        [
+            (
+                filing_strings["FilingCode"][i],
+                filing_strings["MaritalStatus"][i],
+                rates[i],
+            )
+            for i in range(n_filings)
+        ],
+    )
+    first_names = ["ann", "bob", "cleo", "dee", "eli", "fay", "gus", "hal"]
+    last_names = ["reed", "shaw", "tate", "vale", "webb", "york", "zink"]
+    return EntityCatalog(
+        schema=TAX_SCHEMA,
+        entity_classes=[residences, employers, filings],
+        free_attributes={
+            "FName": lambda r: r.choice(first_names),
+            "LName": lambda r: r.choice(last_names),
+            "Gender": lambda r: r.choice(["M", "F"]),
+            "Salary": lambda r: float(r.randrange(20_000, 200_000, 500)),
+        },
+        geometry=dict(TAX_GEOMETRY),
+    )
+
+
+def generate_tax(
+    n: int,
+    rng: SeedLike = 0,
+    n_residences: Optional[int] = None,
+    n_employers: Optional[int] = None,
+    n_filings: Optional[int] = None,
+) -> Relation:
+    """A clean Tax-like instance with *n* tuples."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    random_state = make_rng(rng)
+    n_residences = n_residences if n_residences is not None else max(5, n // 40)
+    n_employers = n_employers if n_employers is not None else max(4, n // 50)
+    n_filings = n_filings if n_filings is not None else max(3, min(40, n // 60))
+    catalog = tax_catalog(n_residences, n_employers, n_filings, rng=random_state)
+    return catalog.generate(n, rng=random_state)

@@ -1,0 +1,12 @@
+"""Indexes and optimizations for FT-violation detection."""
+
+from repro.index.qgram import QGramIndex, passes_count_filter, qgram_overlap
+from repro.index.simjoin import STRATEGIES, SimilarityJoin
+
+__all__ = [
+    "QGramIndex",
+    "qgram_overlap",
+    "passes_count_filter",
+    "SimilarityJoin",
+    "STRATEGIES",
+]

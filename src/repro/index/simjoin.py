@@ -1,0 +1,126 @@
+"""Similarity self-join over FD patterns.
+
+Detecting FT-violations is a threshold self-join: find every pattern pair
+whose weighted projection distance (Eq. 2) is at most ``tau``. This
+module wraps the pairwise scan with pluggable filter stacks so the cost
+of detection can be studied (ablation benches) and tuned:
+
+* ``naive``     — exact distance for every pair, no filtering.
+* ``filtered``  — per-attribute length lower bound + early-abort
+  accumulation (sound, default).
+* ``qgram``     — ``filtered`` plus a q-gram count filter on the most
+  selective string attribute of the FD.
+
+All strategies return exactly the same pairs; only the work differs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.violation import (
+    FTViolation,
+    Pattern,
+    projection_distance_within,
+)
+from repro.index.qgram import passes_count_filter
+
+STRATEGIES = ("naive", "filtered", "qgram")
+
+
+class SimilarityJoin:
+    """Threshold self-join over patterns of one FD.
+
+    >>> # doctest-level usage lives in tests/test_simjoin.py
+    """
+
+    def __init__(
+        self,
+        fd: FD,
+        model: DistanceModel,
+        tau: float,
+        strategy: str = "filtered",
+        q: int = 2,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected {STRATEGIES}")
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        self.fd = fd
+        self.model = model
+        self.tau = tau
+        self.strategy = strategy
+        self.q = q
+        self._qgram_attr = self._pick_qgram_attribute() if strategy == "qgram" else None
+        self.pairs_examined = 0
+        self.pairs_filtered = 0
+
+    def _pick_qgram_attribute(self) -> Optional[Tuple[int, float]]:
+        """Choose the string attribute with the tightest edit budget.
+
+        Returns (position in the FD projection, weight) or ``None`` when
+        the FD has no usable string attribute.
+        """
+        n_lhs = len(self.fd.lhs)
+        best: Optional[Tuple[int, float]] = None
+        for pos, _attr in enumerate(self.fd.attributes):
+            weight = (
+                self.model.weights.lhs if pos < n_lhs else self.model.weights.rhs
+            )
+            if weight <= 0:
+                continue
+            if best is None or weight > best[1]:
+                best = (pos, weight)
+        return best
+
+    def _qgram_reject(self, v1: Tuple, v2: Tuple) -> bool:
+        """True when the q-gram filter proves the pair exceeds tau."""
+        if self._qgram_attr is None:
+            return False
+        pos, weight = self._qgram_attr
+        a, b = v1[pos], v2[pos]
+        if not isinstance(a, str) or not isinstance(b, str) or a == b:
+            return False
+        # The single attribute alone must satisfy weight * ned <= tau,
+        # i.e. lev <= (tau / weight) * max(len).
+        longest = max(len(a), len(b))
+        if longest == 0:
+            return False
+        max_edits = int((self.tau / weight) * longest)
+        return not passes_count_filter(a, b, max_edits, self.q)
+
+    def join(self, patterns: Sequence[Pattern]) -> List[FTViolation]:
+        """All FT-violating pairs among *patterns* at threshold ``tau``."""
+        out: List[FTViolation] = []
+        self.pairs_examined = 0
+        self.pairs_filtered = 0
+        lhs, rhs = self.fd.lhs, self.fd.rhs
+        for i, left in enumerate(patterns):
+            for right in patterns[i + 1 :]:
+                self.pairs_examined += 1
+                if self.strategy == "naive":
+                    # genuinely unfiltered: full Eq. (2), then compare
+                    dist = self.model.projection_distance(
+                        lhs, rhs, left.values, right.values
+                    )
+                    if dist <= self.tau:
+                        out.append(FTViolation(left, right, dist))
+                    continue
+                if self.strategy == "qgram" and self._qgram_reject(
+                    left.values, right.values
+                ):
+                    self.pairs_filtered += 1
+                    continue
+                dist = projection_distance_within(
+                    self.model,
+                    self.fd,
+                    left.values,
+                    right.values,
+                    self.tau,
+                    use_filters=True,
+                )
+                if dist is not None:
+                    out.append(FTViolation(left, right, dist))
+        return out

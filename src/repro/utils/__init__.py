@@ -1,0 +1,11 @@
+"""Small shared utilities: union-find, stopwatch, deterministic RNG helpers.
+
+These are deliberately dependency-free so every other subpackage can use
+them without import cycles.
+"""
+
+from repro.utils.unionfind import UnionFind
+from repro.utils.timing import Stopwatch
+from repro.utils.rng import make_rng, shuffled
+
+__all__ = ["UnionFind", "Stopwatch", "make_rng", "shuffled"]

@@ -1,0 +1,49 @@
+"""A tiny stopwatch for the experiment runner and benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Stopwatch:
+    """Accumulates named wall-clock timings.
+
+    >>> sw = Stopwatch()
+    >>> with sw.measure("detect"):
+    ...     pass
+    >>> "detect" in sw.totals
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self._stack: list = []
+
+    def measure(self, name: str) -> "_Span":
+        """Return a context manager that adds its elapsed time to *name*."""
+        return _Span(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add *seconds* to the running total for *name*."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    def total(self, name: Optional[str] = None) -> float:
+        """Total seconds for *name*, or the grand total when omitted."""
+        if name is not None:
+            return self.totals.get(name, 0.0)
+        return sum(self.totals.values())
+
+
+class _Span:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,84 @@
+"""Shared fixtures: the Citizens running example and small generated data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.dataset.citizens import (
+    CITIZENS_ERRORS,
+    CITIZENS_FDS,
+    CITIZENS_THRESHOLDS,
+    citizens_clean,
+    citizens_dirty,
+)
+from repro.dataset.relation import Relation, Schema
+from repro.generator.hosp import generate_hosp, hosp_fds, hosp_thresholds
+from repro.generator.noise import NoiseConfig, error_cells, inject_noise
+
+
+@pytest.fixture
+def citizens() -> Relation:
+    return citizens_dirty()
+
+
+@pytest.fixture
+def citizens_truth() -> Relation:
+    return citizens_clean()
+
+
+@pytest.fixture
+def citizens_fds():
+    return list(CITIZENS_FDS)
+
+
+@pytest.fixture
+def citizens_thresholds():
+    return dict(CITIZENS_THRESHOLDS)
+
+
+@pytest.fixture
+def citizens_errors():
+    return dict(CITIZENS_ERRORS)
+
+
+@pytest.fixture
+def citizens_model(citizens) -> DistanceModel:
+    return DistanceModel(citizens)
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    return Schema.of("A", "B", "C", "N", numeric=["N"])
+
+
+@pytest.fixture
+def simple_relation(simple_schema) -> Relation:
+    return Relation(
+        simple_schema,
+        [
+            ("x1", "y1", "z1", 1),
+            ("x1", "y1", "z1", 2),
+            ("x2", "y2", "z2", 3),
+            ("x2", "y2", "z9", 4),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def small_hosp_workload():
+    """A small dirty HOSP instance with ground truth (session-cached)."""
+    fds = hosp_fds()
+    clean = generate_hosp(400, rng=11, n_facilities=12, n_measures=6)
+    dirty, errors = inject_noise(
+        clean, fds, NoiseConfig(error_rate=0.04), rng=12
+    )
+    return {
+        "clean": clean,
+        "dirty": dirty,
+        "errors": errors,
+        "truth": error_cells(errors),
+        "fds": fds,
+        "thresholds": hosp_thresholds(fds),
+    }

@@ -1,0 +1,110 @@
+"""Property-based tests for the baseline repairers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    EquivalenceRepairer,
+    LlunaticRepairer,
+    MetricFDRepairer,
+    URMRepairer,
+)
+from repro.baselines.llunatic import is_llun
+from repro.core.constraints import FD
+from repro.core.violation import is_consistent
+from repro.dataset.relation import Relation, Schema
+
+FD_KV = FD.parse("K -> V")
+
+keys = st.sampled_from(["k1", "k2", "k3"])
+values = st.sampled_from(["va", "vb", "vc", "vd"])
+relations = st.lists(
+    st.tuples(keys, values), min_size=1, max_size=12
+).map(lambda rows: Relation(Schema.of("K", "V"), rows))
+
+
+@settings(deadline=None, max_examples=50)
+@given(relation=relations)
+def test_nadeef_output_is_classically_consistent(relation):
+    result = EquivalenceRepairer([FD_KV]).repair(relation)
+    assert is_consistent(result.relation, FD_KV)
+
+
+@settings(deadline=None, max_examples=50)
+@given(relation=relations)
+def test_nadeef_never_touches_lhs_only_attributes(relation):
+    result = EquivalenceRepairer([FD_KV]).repair(relation)
+    assert all(edit.attribute == "V" for edit in result.edits)
+
+
+@settings(deadline=None, max_examples=50)
+@given(relation=relations)
+def test_llunatic_output_is_consistent_up_to_lluns(relation):
+    result = LlunaticRepairer([FD_KV]).repair(relation)
+    # groups are merged: within each K-group, V is a single value
+    # (possibly one shared llun)
+    by_key = {}
+    for tid in result.relation.tids():
+        by_key.setdefault(
+            result.relation.value(tid, "K"), set()
+        ).add(result.relation.value(tid, "V"))
+    for group_values in by_key.values():
+        assert len(group_values) == 1
+
+
+@settings(deadline=None, max_examples=50)
+@given(relation=relations)
+def test_llunatic_variables_tracked_exactly(relation):
+    result = LlunaticRepairer([FD_KV]).repair(relation)
+    tracked = result.stats["variables"]
+    actual = {
+        (tid, "V")
+        for tid in result.relation.tids()
+        if is_llun(result.relation.value(tid, "V"))
+    }
+    # every llun cell that the repair *created* is tracked
+    assert actual <= tracked | set()
+    for cell in tracked:
+        assert is_llun(result.relation.value(*cell))
+
+
+@settings(deadline=None, max_examples=50)
+@given(relation=relations)
+def test_urm_is_deterministic(relation):
+    first = URMRepairer([FD_KV]).repair(relation)
+    second = URMRepairer([FD_KV]).repair(relation)
+    assert first.edits == second.edits
+
+
+@settings(deadline=None, max_examples=50)
+@given(relation=relations)
+def test_urm_repairs_within_active_domain(relation):
+    result = URMRepairer([FD_KV]).repair(relation)
+    domains = {a: set(relation.active_domain(a)) for a in ("K", "V")}
+    for edit in result.edits:
+        assert edit.new in domains[edit.attribute]
+
+
+@settings(deadline=None, max_examples=50)
+@given(relation=relations, delta=st.sampled_from([0.0, 0.3, 0.6]))
+def test_metricfd_tolerance_monotone(relation, delta):
+    """A larger delta can only repair fewer cells."""
+    tight = MetricFDRepairer([FD_KV], delta=delta).repair(relation)
+    loose = MetricFDRepairer([FD_KV], delta=min(1.0, delta + 0.3)).repair(
+        relation
+    )
+    assert len(loose.edits) <= len(tight.edits)
+
+
+@settings(deadline=None, max_examples=50)
+@given(relation=relations)
+def test_all_baselines_never_mutate_input(relation):
+    snapshot = relation.copy()
+    for repairer in (
+        EquivalenceRepairer([FD_KV]),
+        URMRepairer([FD_KV]),
+        LlunaticRepairer([FD_KV]),
+        MetricFDRepairer([FD_KV]),
+    ):
+        repairer.repair(relation)
+    assert relation == snapshot

@@ -1,0 +1,170 @@
+"""Tests for the three reimplemented comparison systems (Section 6.4)."""
+
+import pytest
+
+from repro.baselines import BASELINES, EquivalenceRepairer, LlunaticRepairer, URMRepairer
+from repro.baselines.llunatic import LLUN_PREFIX, is_llun
+from repro.core.constraints import FD, parse_fds
+from repro.core.violation import is_consistent, is_consistent_all
+from repro.dataset.relation import Relation, Schema
+
+
+@pytest.fixture
+def majority_relation():
+    """One LHS group: 4 tuples agree on RHS, 1 dissents."""
+    schema = Schema.of("Zip", "City")
+    rows = [("z1", "boston")] * 4 + [("z1", "austin")] + [("z2", "dallas")]
+    return Relation(schema, rows)
+
+
+@pytest.fixture
+def tie_relation():
+    schema = Schema.of("Zip", "City")
+    return Relation(schema, [("z1", "boston"), ("z1", "austin")])
+
+
+FD_ZIP = FD.parse("Zip -> City")
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(BASELINES) == {"nadeef", "urm", "llunatic", "metricfd"}
+
+    def test_all_require_fds(self):
+        for cls in BASELINES.values():
+            with pytest.raises(ValueError):
+                cls([])
+
+
+class TestEquivalence:
+    def test_majority_vote_repairs_dissenter(self, majority_relation):
+        result = EquivalenceRepairer([FD_ZIP]).repair(majority_relation)
+        assert result.relation.value(4, "City") == "boston"
+        assert len(result.edits) == 1
+
+    def test_output_is_classically_consistent(self, majority_relation):
+        result = EquivalenceRepairer([FD_ZIP]).repair(majority_relation)
+        assert is_consistent(result.relation, FD_ZIP)
+
+    def test_input_not_mutated(self, majority_relation):
+        snapshot = majority_relation.copy()
+        EquivalenceRepairer([FD_ZIP]).repair(majority_relation)
+        assert majority_relation == snapshot
+
+    def test_rhs_only_repairs(self, citizens, citizens_fds):
+        """Attributes never on any RHS are never edited."""
+        result = EquivalenceRepairer(citizens_fds).repair(citizens)
+        pure_lhs = {"Education", "Street"}  # never on an RHS in Citizens FDs
+        assert not any(e.attribute in pure_lhs for e in result.edits)
+
+    def test_typo_lhs_invisible(self):
+        """Equality semantics cannot see a typo'd LHS (paper Example 3)."""
+        schema = Schema.of("City", "State")
+        relation = Relation(
+            schema, [("Boston", "MA"), ("Boston", "MA"), ("Boton", "MA")]
+        )
+        result = EquivalenceRepairer([FD.parse("City -> State")]).repair(relation)
+        assert result.edits == []
+
+    def test_chase_reaches_fixpoint(self, citizens, citizens_fds):
+        result = EquivalenceRepairer(citizens_fds).repair(citizens)
+        assert is_consistent_all(result.relation, citizens_fds)
+
+
+class TestURM:
+    def test_core_fraction_validated(self):
+        with pytest.raises(ValueError):
+            URMRepairer([FD_ZIP], core_fraction=0.0)
+
+    def test_frequent_pattern_wins(self, majority_relation):
+        result = URMRepairer([FD_ZIP]).repair(majority_relation)
+        assert result.relation.value(4, "City") == "boston"
+
+    def test_same_deviant_same_repair(self):
+        """Critique (3): one deviant pattern repairs identically everywhere."""
+        schema = Schema.of("Zip", "City")
+        rows = [("z1", "boston")] * 4 + [("z1", "austin")] * 2
+        relation = Relation(schema, rows)
+        result = URMRepairer([FD_ZIP]).repair(relation)
+        values = {result.relation.value(tid, "City") for tid in (4, 5)}
+        assert values == {"boston"}
+
+    def test_mdl_keeps_unprofitable_repairs(self):
+        """A deviant whose rewrite does not shorten the description stays."""
+        schema = Schema.of("Zip", "City")
+        # singleton groups: no core pattern shares the LHS, overlap too low
+        relation = Relation(schema, [("z1", "boston"), ("z2", "austin")])
+        result = URMRepairer([FD_ZIP]).repair(relation)
+        assert result.edits == []
+
+    def test_stats_report_deviants(self, majority_relation):
+        result = URMRepairer([FD_ZIP]).repair(majority_relation)
+        assert result.stats["deviants_repaired"] == 1
+
+    def test_sequential_fd_handling(self, citizens, citizens_fds):
+        result = URMRepairer(citizens_fds).repair(citizens)
+        # URM must terminate and produce some repairs on Citizens
+        assert result.stats["algorithm"] == "urm"
+
+
+class TestLlunatic:
+    def test_majority_validated(self):
+        with pytest.raises(ValueError):
+            LlunaticRepairer([FD_ZIP], majority=0.0)
+
+    def test_clear_majority_repairs_to_constant(self, majority_relation):
+        result = LlunaticRepairer([FD_ZIP]).repair(majority_relation)
+        assert result.relation.value(4, "City") == "boston"
+        assert result.stats["variable_count"] == 0
+
+    def test_tie_becomes_variable(self, tie_relation):
+        result = LlunaticRepairer([FD_ZIP]).repair(tie_relation)
+        assert result.stats["variable_count"] >= 1
+        cells = result.stats["variables"]
+        for tid, attr in cells:
+            assert is_llun(result.relation.value(tid, attr))
+
+    def test_same_group_shares_one_variable(self, tie_relation):
+        result = LlunaticRepairer([FD_ZIP]).repair(tie_relation)
+        values = {result.relation.value(tid, "City") for tid in (0, 1)}
+        assert len(values) == 1
+
+    def test_numeric_groups_never_get_variables(self):
+        schema = Schema.of("K", "N", numeric=["N"])
+        relation = Relation(schema, [("k1", 1.0), ("k1", 2.0)])
+        result = LlunaticRepairer([FD.parse("K -> N")]).repair(relation)
+        for tid in relation.tids():
+            assert not is_llun(result.relation.value(tid, "N"))
+
+    def test_lluns_are_namespaced(self):
+        assert is_llun(f"{LLUN_PREFIX}7")
+        assert not is_llun("boston")
+        assert not is_llun(3.0)
+
+    def test_input_not_mutated(self, tie_relation):
+        snapshot = tie_relation.copy()
+        LlunaticRepairer([FD_ZIP]).repair(tie_relation)
+        assert tie_relation == snapshot
+
+
+class TestQualitativeOrdering:
+    def test_paper_table3_ordering_on_generated_data(self, small_hosp_workload):
+        """Our Greedy-M beats every baseline on F1 (Table 3's headline)."""
+        from repro.core.engine import Repairer
+        from repro.eval.metrics import evaluate_repair
+
+        dirty = small_hosp_workload["dirty"]
+        truth = small_hosp_workload["truth"]
+        fds = small_hosp_workload["fds"]
+        thresholds = small_hosp_workload["thresholds"]
+
+        ours = Repairer(fds, algorithm="greedy-m", thresholds=thresholds).repair(
+            dirty
+        )
+        ours_quality = evaluate_repair(ours.edits, truth)
+        for name, cls in BASELINES.items():
+            result = cls(fds).repair(dirty)
+            quality = evaluate_repair(
+                result.edits, truth, result.stats.get("variables", set())
+            )
+            assert ours_quality.f1 > quality.f1, name

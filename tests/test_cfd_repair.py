@@ -1,0 +1,140 @@
+"""Tests for the CFD repair extension."""
+
+import pytest
+
+from repro.core.cfd_repair import CFDRepairer
+from repro.core.constraints import CFD, FD, PatternRow
+from repro.dataset.relation import Relation, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("Country", "Zip", "City")
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation(
+        schema,
+        [
+            ("UK", "zip-0001x", "London"),
+            ("UK", "zip-0001x", "London"),
+            ("UK", "zip-0001x", "London"),
+            ("UK", "zip-0001x", "Londom"),  # typo'd RHS
+            ("UK", "zip-O001x", "London"),  # typo'd LHS
+            ("US", "zip-0001x", "Chicago"),  # same zip, other country: fine
+            ("US", "zip-0001x", "Chicago"),
+            ("UK", "zip-0001x", "Bristol"),  # matches, but unlike London
+        ],
+    )
+
+
+#: In the UK, Zip determines City; elsewhere it does not (classic CFD
+#: motivation: UK postcodes are street-level). The condition attribute
+#: is part of the embedded FD's LHS, per the standard CFD form
+#: (X -> Y, Tp) with Tp over X ∪ Y.
+UK_CFD = CFD(
+    FD.parse("Country, Zip -> City"),
+    (PatternRow({"Country": "UK"}),),
+    name="uk-zip",
+)
+
+
+class TestConfiguration:
+    def test_requires_cfds(self):
+        with pytest.raises(ValueError):
+            CFDRepairer([])
+
+    def test_algorithm_validated(self):
+        with pytest.raises(ValueError):
+            CFDRepairer([UK_CFD], algorithm="greedy-m")
+
+    def test_missing_threshold_in_mapping(self, relation):
+        other = CFD(FD.parse("Zip -> City"))
+        repairer = CFDRepairer([UK_CFD], thresholds={other: 0.3})
+        with pytest.raises(KeyError):
+            repairer.repair(relation)
+
+
+class TestConditionalScope:
+    def test_cfd_with_country_pattern_ignores_us_rows(self, relation):
+        """The US rows share the zip with different city — a violation of
+        the plain FD but NOT of the UK-conditioned CFD."""
+        tableau_cfd = CFD(
+            FD.parse("Country, Zip -> City"),
+            (PatternRow({"Country": "UK"}),),
+        )
+        result = CFDRepairer([tableau_cfd], thresholds=0.3).repair(relation)
+        assert not any(edit.tid in (5, 6) for edit in result.edits)
+
+    def test_typos_inside_scope_are_repaired(self, relation):
+        result = CFDRepairer([UK_CFD], thresholds=0.3).repair(relation)
+        by_cell = result.edits_by_cell()
+        # Hmm: UK_CFD embeds Zip -> City and matches only UK rows 0-4.
+        assert by_cell[(3, "City")].new == "London"
+        assert by_cell[(4, "Zip")].new == "zip-0001x"
+
+    def test_plain_fd_cfd_behaves_like_fd(self, relation):
+        """A wildcard CFD over the two-country FD repairs both scopes."""
+        plain = CFD(FD.parse("Country, Zip -> City"))
+        result = CFDRepairer([plain], thresholds=0.3).repair(relation)
+        assert result.relation.value(3, "City") == "London"
+
+    def test_input_not_mutated(self, relation):
+        snapshot = relation.copy()
+        CFDRepairer([UK_CFD], thresholds=0.3).repair(relation)
+        assert relation == snapshot
+
+
+class TestConstantEnforcement:
+    @pytest.fixture
+    def constant_cfd(self):
+        # For UK rows with this zip, City must be London.
+        return CFD(
+            FD.parse("Country, Zip -> City"),
+            (
+                PatternRow(
+                    {"Country": "UK", "Zip": "zip-0001x", "City": "London"}
+                ),
+            ),
+        )
+
+    def test_similar_values_pinned(self, relation, constant_cfd):
+        result = CFDRepairer([constant_cfd], thresholds=0.3).repair(relation)
+        assert result.relation.value(3, "City") == "London"
+        assert result.stats["constants_enforced"] >= 1
+
+    def test_dissimilar_values_left_alone(self, relation, constant_cfd):
+        """Bristol matches the row's condition but is nothing like the
+        asserted London: the constant does not clobber it (the mismatch
+        more likely signals an error elsewhere than an RHS typo)."""
+        result = CFDRepairer([constant_cfd], thresholds=0.3).repair(relation)
+        assert result.relation.value(7, "City") == "Bristol"
+
+    def test_out_of_scope_rows_untouched(self, relation, constant_cfd):
+        result = CFDRepairer([constant_cfd], thresholds=0.3).repair(relation)
+        assert result.relation.value(5, "City") == "Chicago"
+
+
+class TestAlgorithms:
+    def test_exact_variant_runs(self, relation):
+        result = CFDRepairer(
+            [UK_CFD], algorithm="exact-s", thresholds=0.3
+        ).repair(relation)
+        assert result.relation.value(3, "City") == "London"
+
+    def test_auto_thresholds(self, relation):
+        result = CFDRepairer([UK_CFD]).repair(relation)
+        assert result.relation is not None
+
+    def test_cost_accumulates(self, relation):
+        result = CFDRepairer([UK_CFD], thresholds=0.3).repair(relation)
+        assert result.cost > 0
+        assert result.cost == pytest.approx(
+            sum(
+                CFDRepairer([UK_CFD], thresholds=0.3)
+                .repair(relation)
+                .cost
+                for _ in range(1)
+            )
+        )

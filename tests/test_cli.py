@@ -1,0 +1,120 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataset.csvio import read_csv, write_csv
+from repro.dataset.relation import Relation, Schema
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    schema = Schema.of("sku", "product", "warehouse", "city")
+    rows = (
+        [("sk-1001", "espresso-one", "WH-A", "Lyon")] * 4
+        + [("sk-1001", "espresso-oen", "WH-A", "Lyon")]  # typo
+        + [("sk-2002", "grinder-two", "WH-B", "Nantes")] * 4
+    )
+    relation = Relation(schema, rows)
+    path = tmp_path / "catalog.csv"
+    write_csv(relation, path)
+    return path
+
+
+class TestParser:
+    def test_requires_fd(self, csv_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([str(csv_path)])
+
+    def test_bad_fd_spec_exits(self, csv_path, capsys):
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--fd", "no arrow here"])
+
+    def test_bad_weight_exits(self, csv_path):
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--fd", "sku -> product", "--lhs-weight", "2"])
+
+    def test_unknown_algorithm_exits(self, csv_path):
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--fd", "sku -> product",
+                  "--algorithm", "magic"])
+
+
+class TestRun:
+    def test_repairs_and_writes_default_output(self, csv_path, capsys):
+        code = main([str(csv_path), "--fd", "sku -> product", "--tau", "0.3"])
+        assert code == 0
+        output = csv_path.with_suffix(".repaired.csv")
+        assert output.exists()
+        repaired = read_csv(output)
+        assert repaired.value(4, "product") == "espresso-one"
+        assert "1 cell edit" in capsys.readouterr().out
+
+    def test_explicit_output_path(self, csv_path, tmp_path):
+        out = tmp_path / "clean.csv"
+        code = main(
+            [str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+             "-o", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_dry_run_writes_nothing(self, csv_path, capsys):
+        code = main(
+            [str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+             "--dry-run"]
+        )
+        assert code == 0
+        assert not csv_path.with_suffix(".repaired.csv").exists()
+        assert "dry run" in capsys.readouterr().out
+
+    def test_report_lists_edits(self, csv_path, capsys):
+        main([str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+              "--report", "--dry-run"])
+        out = capsys.readouterr().out
+        assert "espresso-oen" in out and "espresso-one" in out
+
+    def test_derived_thresholds_printed(self, csv_path, capsys):
+        main([str(csv_path), "--fd", "sku -> product", "--dry-run"])
+        out = capsys.readouterr().out
+        assert "tau =" in out
+
+    def test_multiple_fds(self, csv_path, capsys):
+        code = main(
+            [str(csv_path), "--fd", "sku -> product",
+             "--fd", "warehouse -> city", "--tau", "0.3", "--dry-run"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("tau =") == 2
+
+    def test_missing_input_reports_error(self, tmp_path, capsys):
+        code = main(
+            [str(tmp_path / "nope.csv"), "--fd", "a -> b", "--dry-run"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_column_reports_error(self, csv_path, capsys):
+        code = main([str(csv_path), "--fd", "sku -> nothere", "--dry-run"])
+        assert code == 2
+        assert "nothere" in capsys.readouterr().err
+
+    def test_numeric_columns_flag(self, tmp_path):
+        schema = Schema.of("code", "score")
+        relation = Relation(
+            schema, [("aaa-111", "10"), ("aaa-111", "10"), ("aaa-111", "12")]
+        )
+        path = tmp_path / "scores.csv"
+        write_csv(relation, path)
+        code = main(
+            [str(path), "--fd", "code -> score", "--numeric", "score",
+             "--tau", "0.3", "--dry-run"]
+        )
+        assert code == 0
+
+    def test_algorithm_selection(self, csv_path):
+        code = main(
+            [str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+             "--algorithm", "exact-s", "--dry-run"]
+        )
+        assert code == 0

@@ -1,0 +1,166 @@
+"""Unit tests for FDs and CFDs."""
+
+import pytest
+
+from repro.core.constraints import (
+    CFD,
+    FD,
+    PatternRow,
+    WILDCARD,
+    parse_fds,
+    validate_constraints,
+)
+from repro.dataset.relation import Relation, Schema
+
+
+class TestFDConstruction:
+    def test_parse_simple(self):
+        fd = FD.parse("City -> State")
+        assert fd.lhs == ("City",)
+        assert fd.rhs == ("State",)
+
+    def test_parse_multi_attribute(self):
+        fd = FD.parse("City, Street -> District, Zone")
+        assert fd.lhs == ("City", "Street")
+        assert fd.rhs == ("District", "Zone")
+
+    def test_parse_unicode_arrow(self):
+        fd = FD.parse("A → B")
+        assert fd.lhs == ("A",)
+
+    def test_parse_rejects_missing_arrow(self):
+        with pytest.raises(ValueError):
+            FD.parse("City State")
+
+    def test_parse_strips_whitespace(self):
+        fd = FD.parse("  A ,B  ->  C ")
+        assert fd.attributes == ("A", "B", "C")
+
+    def test_default_name(self):
+        assert FD.parse("A -> B").name == "A->B"
+
+    def test_custom_name(self):
+        assert FD.parse("A -> B", name="phi").name == "phi"
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            FD((), ("B",))
+        with pytest.raises(ValueError):
+            FD(("A",), ())
+
+    def test_rejects_overlap_between_sides(self):
+        with pytest.raises(ValueError):
+            FD(("A",), ("A",))
+
+    def test_rejects_duplicates_within_side(self):
+        with pytest.raises(ValueError):
+            FD(("A", "A"), ("B",))
+
+    def test_parse_fds_helper(self):
+        fds = parse_fds(["A -> B", "B -> C"])
+        assert [fd.name for fd in fds] == ["A->B", "B->C"]
+
+
+class TestFDBehaviour:
+    def test_attributes_order_lhs_first(self):
+        fd = FD.parse("B, A -> C")
+        assert fd.attributes == ("B", "A", "C")
+
+    def test_overlaps(self):
+        a = FD.parse("A -> B")
+        b = FD.parse("B -> C")
+        c = FD.parse("X -> Y")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_validate_against_schema(self):
+        schema = Schema.of("A", "B")
+        FD.parse("A -> B").validate(schema)
+        with pytest.raises(KeyError):
+            FD.parse("A -> Z").validate(schema)
+
+    def test_bind_resolves_indexes(self):
+        schema = Schema.of("A", "B", "C")
+        bound = FD.parse("C -> A").bind(schema)
+        assert bound.lhs_indexes == (2,)
+        assert bound.rhs_indexes == (0,)
+        assert bound.indexes == (2, 0)
+
+    def test_bound_project(self):
+        schema = Schema.of("A", "B", "C")
+        bound = FD.parse("C -> A").bind(schema)
+        assert bound.project(("a", "b", "c")) == ("c", "a")
+
+    def test_fd_is_hashable_and_usable_as_key(self):
+        fd = FD.parse("A -> B")
+        assert {fd: 0.3}[FD.parse("A -> B")] == 0.3
+
+    def test_str(self):
+        assert str(FD.parse("A -> B")) == "A->B"
+
+    def test_validate_constraints_reports_all(self):
+        schema = Schema.of("A", "B")
+        with pytest.raises(KeyError) as err:
+            validate_constraints(
+                [FD.parse("A -> Z"), FD.parse("Q -> B")], schema
+            )
+        assert "Z" in str(err.value) and "Q" in str(err.value)
+
+
+class TestCFD:
+    @pytest.fixture
+    def relation(self):
+        schema = Schema.of("Country", "Zip", "City")
+        return Relation(
+            schema,
+            [
+                ("UK", "z1", "c1"),
+                ("UK", "z1", "c2"),
+                ("US", "z1", "c3"),
+            ],
+        )
+
+    def test_plain_fd_when_tableau_empty(self):
+        cfd = CFD(FD.parse("Zip -> City"))
+        assert cfd.is_plain_fd
+
+    def test_wildcard_row_is_plain(self):
+        cfd = CFD(FD.parse("Zip -> City"), (PatternRow({}),))
+        assert cfd.is_plain_fd
+
+    def test_constant_row_is_conditional(self):
+        cfd = CFD(
+            FD.parse("Country, Zip -> City"),
+            (PatternRow({"Country": "UK"}),),
+        )
+        assert not cfd.is_plain_fd
+
+    def test_rejects_constants_outside_fd(self):
+        with pytest.raises(ValueError):
+            CFD(FD.parse("A -> B"), (PatternRow({"Z": 1}),))
+
+    def test_matching_tids(self, relation):
+        cfd = CFD(
+            FD.parse("Country, Zip -> City"),
+            (PatternRow({"Country": "UK"}),),
+        )
+        row = cfd.tableau[0]
+        assert cfd.matching_tids(relation, row) == [0, 1]
+
+    def test_wildcard_matches_everything(self, relation):
+        cfd = CFD(FD.parse("Zip -> City"))
+        row = cfd.rows_or_wildcard()[0]
+        assert cfd.matching_tids(relation, row) == [0, 1, 2]
+
+    def test_rhs_constants(self):
+        fd = FD.parse("Country -> City")
+        row = PatternRow({"Country": "UK", "City": "London"})
+        assert row.rhs_constants(fd) == {"City": "London"}
+
+    def test_wildcard_constant_ignored(self):
+        fd = FD.parse("Country -> City")
+        row = PatternRow({"City": WILDCARD})
+        assert row.rhs_constants(fd) == {}
+
+    def test_default_name(self):
+        assert CFD(FD.parse("A -> B")).name == "cfd:A->B"

@@ -1,0 +1,67 @@
+"""Tests for CSV round-trips."""
+
+import pytest
+
+from repro.dataset.csvio import read_csv, write_csv
+from repro.dataset.relation import Relation, Schema
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, simple_relation):
+        path = tmp_path / "data.csv"
+        write_csv(simple_relation, path)
+        loaded = read_csv(path, schema=simple_relation.schema)
+        assert loaded == simple_relation
+
+    def test_read_infers_schema_from_header(self, tmp_path, simple_relation):
+        path = tmp_path / "data.csv"
+        write_csv(simple_relation, path)
+        loaded = read_csv(path, numeric=["N"])
+        assert loaded.schema.names == ("A", "B", "C", "N")
+        assert loaded.value(0, "N") == 1.0
+
+    def test_read_without_numeric_treats_all_as_strings(
+        self, tmp_path, simple_relation
+    ):
+        path = tmp_path / "data.csv"
+        write_csv(simple_relation, path)
+        loaded = read_csv(path)
+        assert loaded.value(0, "N") == "1"
+
+    def test_integral_floats_written_as_ints(self, tmp_path, simple_relation):
+        path = tmp_path / "data.csv"
+        write_csv(simple_relation, path)
+        content = path.read_text()
+        assert "1.0" not in content
+
+    def test_header_mismatch_rejected(self, tmp_path, simple_relation):
+        path = tmp_path / "data.csv"
+        write_csv(simple_relation, path)
+        with pytest.raises(ValueError):
+            read_csv(path, schema=Schema.of("X", "Y"))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("A,B\n1,2\n3\n")
+        with pytest.raises(ValueError) as err:
+            read_csv(path)
+        assert ":3" in str(err.value)  # line number in message
+
+    def test_values_with_commas_survive(self, tmp_path):
+        schema = Schema.of("A")
+        relation = Relation(schema, [("hello, world",)])
+        path = tmp_path / "quoted.csv"
+        write_csv(relation, path)
+        assert read_csv(path, schema=schema) == relation
+
+    def test_citizens_roundtrip(self, tmp_path, citizens):
+        path = tmp_path / "citizens.csv"
+        write_csv(citizens, path)
+        loaded = read_csv(path, schema=citizens.schema)
+        assert loaded == citizens

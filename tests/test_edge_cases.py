@@ -1,0 +1,118 @@
+"""Edge-case hardening across the engine: degenerate relations, unicode,
+empty strings, constant columns."""
+
+import pytest
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.engine import ALGORITHMS, Repairer
+from repro.dataset.relation import Relation, Schema
+
+FD_KV = FD.parse("K -> V")
+
+
+def _repair(relation, algorithm="greedy-m", tau=0.3, fds=(FD_KV,)):
+    return Repairer(list(fds), algorithm=algorithm, thresholds=tau).repair(
+        relation
+    )
+
+
+class TestDegenerateRelations:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_single_tuple(self, algorithm):
+        relation = Relation(Schema.of("K", "V"), [("a", "b")])
+        result = _repair(relation, algorithm)
+        assert result.edits == []
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_all_identical_tuples(self, algorithm):
+        relation = Relation(Schema.of("K", "V"), [("a", "b")] * 6)
+        result = _repair(relation, algorithm)
+        assert result.edits == []
+
+    @pytest.mark.parametrize("algorithm", ["greedy-s", "greedy-m", "appro-m"])
+    def test_two_conflicting_tuples(self, algorithm):
+        relation = Relation(
+            Schema.of("K", "V"), [("key-one", "val-a"), ("key-one", "val-b")]
+        )
+        result = _repair(relation, algorithm, tau=0.6)
+        # one of the two must move; which one is a tie broken
+        # deterministically
+        assert len(result.edits) == 1
+        values = {result.relation.value(t, "V") for t in (0, 1)}
+        assert len(values) == 1
+
+    def test_empty_string_values(self):
+        relation = Relation(
+            Schema.of("K", "V"),
+            [("k1", "value"), ("k1", "value"), ("k1", "")],
+        )
+        result = _repair(relation, tau=0.6)
+        assert result.relation.value(2, "V") == "value"
+
+    def test_unicode_values(self):
+        relation = Relation(
+            Schema.of("K", "V"),
+            [("zürich", "chf"), ("zürich", "chf"), ("zürich", "chf"),
+             ("zurïch", "chf")],
+        )
+        result = _repair(relation, tau=0.3)
+        assert result.relation.value(3, "K") == "zürich"
+
+    def test_constant_numeric_column(self):
+        relation = Relation(
+            Schema.of("K", "N", numeric=["N"]),
+            [("alpha", 5), ("alpha", 5), ("omega", 5)],
+        )
+        # spread 0: any distinct values would be maximally distant, but
+        # the column is constant — nothing to repair, nothing crashes
+        result = _repair(relation, fds=(FD.parse("K -> N"),))
+        assert result.edits == []
+
+    def test_numeric_lhs(self):
+        relation = Relation(
+            Schema.of("N", "V", numeric=["N"]),
+            [(1, "a"), (1, "a"), (1, "b"), (9, "z")],
+        )
+        result = _repair(relation, fds=(FD.parse("N -> V"),), tau=0.55)
+        assert result.relation.value(2, "V") == "a"
+
+    def test_wide_fd_covering_all_attributes(self):
+        relation = Relation(
+            Schema.of("A", "B", "C"),
+            [("a1", "b1", "c1")] * 3 + [("a1", "b1", "c2")],
+        )
+        result = _repair(relation, fds=(FD.parse("A, B -> C"),), tau=0.6)
+        assert result.relation.value(3, "C") == "c1"
+
+
+class TestModelEdgeCases:
+    def test_distance_model_on_empty_relation(self):
+        relation = Relation(Schema.of("K", "V", "N", numeric=["N"]))
+        model = DistanceModel(relation)
+        assert model.attribute_distance("K", "a", "b") > 0
+        # empty numeric column: spread 0, distinct values maximally far
+        assert model.attribute_distance("N", 1.0, 2.0) == 1.0
+
+    def test_repair_empty_relation(self):
+        relation = Relation(Schema.of("K", "V"))
+        result = _repair(relation)
+        assert result.edits == []
+        assert len(result.relation) == 0
+
+    def test_duplicate_fds_accepted(self):
+        relation = Relation(
+            Schema.of("K", "V"), [("k1", "a"), ("k1", "a"), ("k1", "b")]
+        )
+        result = _repair(relation, fds=(FD_KV, FD.parse("K -> V")), tau=0.6)
+        assert result.relation.value(2, "V") == "a"
+
+    def test_very_long_values(self):
+        long_a = "a" * 300
+        long_b = "a" * 299 + "b"
+        relation = Relation(
+            Schema.of("K", "V"),
+            [("k1", long_a), ("k1", long_a), ("k1", long_b)],
+        )
+        result = _repair(relation, tau=0.3)
+        assert result.relation.value(2, "V") == long_a

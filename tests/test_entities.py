@@ -1,0 +1,124 @@
+"""Tests for the entity-catalog generation machinery."""
+
+import pytest
+
+from repro.core.constraints import FD
+from repro.core.distances import Weights
+from repro.dataset.relation import Schema
+from repro.generator.entities import (
+    DomainGeometry,
+    EntityCatalog,
+    EntityClass,
+    analytic_threshold,
+    single_cell_error_bound,
+)
+
+
+@pytest.fixture
+def catalog():
+    schema = Schema.of("K", "V", "Free")
+    entities = EntityClass(
+        "pair", ("K", "V"), [("k1", "v1"), ("k2", "v2"), ("k3", "v3")]
+    )
+    return EntityCatalog(
+        schema=schema,
+        entity_classes=[entities],
+        free_attributes={"Free": lambda r: str(r.randint(0, 9))},
+        geometry={
+            "K": DomainGeometry(0.4, 0.7),
+            "V": DomainGeometry(0.4, 0.7),
+        },
+    )
+
+
+class TestEntityClass:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            EntityClass("bad", ("A", "B"), [("only",)])
+
+    def test_len(self):
+        cls = EntityClass("ok", ("A",), [("x",), ("y",)])
+        assert len(cls) == 2
+
+
+class TestCatalog:
+    def test_every_attribute_needs_a_source(self):
+        schema = Schema.of("A", "B")
+        with pytest.raises(ValueError):
+            EntityCatalog(
+                schema=schema,
+                entity_classes=[EntityClass("a", ("A",), [("x",)])],
+                free_attributes={},
+            )
+
+    def test_attribute_owned_twice_rejected(self):
+        schema = Schema.of("A")
+        cls = EntityClass("a", ("A",), [("x",)])
+        with pytest.raises(ValueError):
+            EntityCatalog(
+                schema=schema, entity_classes=[cls, cls], free_attributes={}
+            )
+
+    def test_generate_row_count(self, catalog):
+        assert len(catalog.generate(25, rng=1)) == 25
+
+    def test_generated_rows_respect_entities(self, catalog):
+        relation = catalog.generate(50, rng=2)
+        valid = {("k1", "v1"), ("k2", "v2"), ("k3", "v3")}
+        for tid in relation.tids():
+            assert relation.project(tid, ("K", "V")) in valid
+
+    def test_generation_deterministic(self, catalog):
+        assert list(catalog.generate(20, rng=5)) == list(
+            catalog.generate(20, rng=5)
+        )
+
+    def test_zipf_skew_orders_frequencies(self, catalog):
+        catalog.zipf_exponent = 1.2
+        relation = catalog.generate(600, rng=3)
+        counts = relation.value_counts(["K"])
+        assert counts[("k1",)] > counts[("k3",)]
+
+    def test_clean_instance_satisfies_fd(self, catalog):
+        from repro.core.violation import is_consistent
+
+        relation = catalog.generate(100, rng=4)
+        assert is_consistent(relation, FD.parse("K -> V"))
+
+
+class TestAnalyticThreshold:
+    def test_places_tau_below_separation(self, catalog):
+        fd = FD.parse("K -> V")
+        tau = analytic_threshold(fd, catalog.geometry, margin=0.03)
+        assert tau == pytest.approx(0.5 * 0.4 + 0.5 * 0.4 - 0.03)
+
+    def test_error_bound_below_threshold(self, catalog):
+        fd = FD.parse("K -> V")
+        tau = analytic_threshold(fd, catalog.geometry)
+        bound = single_cell_error_bound(fd, catalog.geometry)
+        assert bound < tau
+
+    def test_numeric_attributes_contribute_nothing(self):
+        geometry = {
+            "K": DomainGeometry(0.4, 0.7),
+            "N": DomainGeometry(None, None),
+        }
+        fd = FD.parse("K -> N")
+        tau = analytic_threshold(fd, geometry)
+        assert tau == pytest.approx(0.5 * 0.4 - 0.03)
+
+    def test_all_numeric_fd_rejected(self):
+        geometry = {"A": DomainGeometry(None, None), "B": DomainGeometry(None, None)}
+        with pytest.raises(ValueError):
+            analytic_threshold(FD.parse("A -> B"), geometry)
+
+    def test_skewed_weights(self, catalog):
+        fd = FD.parse("K -> V")
+        tau = analytic_threshold(fd, catalog.geometry, Weights(0.2, 0.8))
+        assert tau == pytest.approx(0.2 * 0.4 + 0.8 * 0.4 - 0.03)
+
+    def test_threshold_for_convenience(self, catalog):
+        fd = FD.parse("K -> V")
+        assert catalog.threshold_for(fd) == analytic_threshold(
+            fd, catalog.geometry
+        )

@@ -1,0 +1,102 @@
+"""Tests for Exact-M's candidate-set machinery (anytime mode)."""
+
+import pytest
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.graph import ViolationGraph
+from repro.core.multi.exact import (
+    _component_cost,
+    _disjoint_family,
+    _solo_lower_bound,
+    candidate_sets_for_fd,
+)
+from repro.core.single.mis import (
+    ExpansionStats,
+    enumerate_maximal_independent_sets,
+)
+
+
+@pytest.fixture
+def phi2_graph(citizens, citizens_model, citizens_fds, citizens_thresholds):
+    fd = citizens_fds[1]
+    return ViolationGraph.build(
+        citizens, fd, citizens_model, citizens_thresholds[fd]
+    )
+
+
+class TestDisjointFamily:
+    def test_greedy_family_is_pairwise_disjoint(self):
+        fds = [
+            FD.parse("A -> B"),
+            FD.parse("B -> C"),
+            FD.parse("X -> Y"),
+            FD.parse("C, X -> Z"),
+        ]
+        family = _disjoint_family(fds)
+        chosen = [fds[i] for i in family]
+        for i, left in enumerate(chosen):
+            for right in chosen[i + 1 :]:
+                assert not left.overlaps(right)
+
+    def test_first_fd_always_chosen(self):
+        fds = [FD.parse("A -> B"), FD.parse("A -> C")]
+        assert 0 in _disjoint_family(fds)
+
+
+class TestSoloBound:
+    def test_full_vertex_set_has_zero_bound(self, phi2_graph):
+        everything = frozenset(range(len(phi2_graph)))
+        assert _solo_lower_bound(phi2_graph, everything) == 0.0
+
+    def test_bound_grows_when_vertices_excluded(self, phi2_graph):
+        everything = frozenset(range(len(phi2_graph)))
+        smaller = frozenset(list(everything)[:-1])
+        assert _solo_lower_bound(phi2_graph, smaller) >= 0.0
+
+
+class TestCandidateSets:
+    def test_exhaustive_when_budget_sufficient(self, phi2_graph):
+        stats = ExpansionStats()
+        sets, exhaustive = candidate_sets_for_fd(
+            phi2_graph, max_nodes=100_000, max_sets=64, stats=stats
+        )
+        assert exhaustive
+        full = enumerate_maximal_independent_sets(phi2_graph, prune=False)
+        assert set(sets) == set(full)
+
+    def test_truncation_keeps_cheapest(self, phi2_graph):
+        stats = ExpansionStats()
+        all_sets, _ = candidate_sets_for_fd(
+            phi2_graph, max_nodes=100_000, max_sets=64, stats=stats
+        )
+        if len(all_sets) < 2:
+            pytest.skip("graph too small to truncate")
+        truncated, exhaustive = candidate_sets_for_fd(
+            phi2_graph, max_nodes=100_000, max_sets=1, stats=ExpansionStats()
+        )
+        assert not exhaustive
+        assert len(truncated) == 1
+        best_bound = min(_solo_lower_bound(phi2_graph, s) for s in all_sets)
+        assert _solo_lower_bound(phi2_graph, truncated[0]) == pytest.approx(
+            best_bound
+        )
+
+    def test_component_fallback_produces_independent_sets(self, phi2_graph):
+        """A tiny node budget forces the compose path; every candidate
+        must still be a maximal independent set of the full graph."""
+        sets, exhaustive = candidate_sets_for_fd(
+            phi2_graph, max_nodes=2, max_sets=8, stats=ExpansionStats()
+        )
+        assert not exhaustive
+        assert sets
+        for candidate in sets:
+            assert phi2_graph.is_maximal_independent(candidate)
+
+    def test_compose_orders_by_cost(self, phi2_graph):
+        sets, _ = candidate_sets_for_fd(
+            phi2_graph, max_nodes=2, max_sets=8, stats=ExpansionStats()
+        )
+        vertices = list(range(len(phi2_graph)))
+        costs = [_component_cost(phi2_graph, vertices, s) for s in sets]
+        assert costs == sorted(costs)

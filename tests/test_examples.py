@@ -1,0 +1,62 @@
+"""Every example script must run clean end to end (small workloads)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+#: script -> extra argv (small sizes keep the suite fast)
+CASES = {
+    "quickstart.py": [],
+    "graph_model_walkthrough.py": [],
+    "target_tree_walkthrough.py": [],
+    "custom_dataset.py": [],
+    "conditional_rules.py": [],
+    "hosp_cleaning.py": ["300"],
+    "tax_audit.py": ["300"],
+    "production_workflow.py": [],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *CASES[script]],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_restores_everything():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "8/8 injected errors restored" in result.stdout
+
+
+def test_example_inventory_matches_readme():
+    """Every example on disk is runnable here (threshold_tuning is
+    exercised separately in the slow marker below)."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(CASES) | {"threshold_tuning.py"} == on_disk
+
+
+@pytest.mark.slow
+def test_threshold_tuning_example():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "threshold_tuning.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "gap-rule tau" in result.stdout

@@ -1,0 +1,76 @@
+"""Tests for repair reports."""
+
+import pytest
+
+from repro.core.distances import DistanceModel
+from repro.core.engine import Repairer
+from repro.eval.explain import repair_report
+
+
+@pytest.fixture
+def repaired(citizens, citizens_fds, citizens_thresholds):
+    repairer = Repairer(
+        citizens_fds, algorithm="greedy-m", thresholds=citizens_thresholds
+    )
+    return repairer.repair(citizens)
+
+
+class TestReportStructure:
+    def test_counts(self, citizens, repaired):
+        report = repair_report(citizens, repaired)
+        assert report.total_edits == len(repaired.edits)
+        assert report.total_cost == pytest.approx(repaired.cost)
+        assert report.tuples_touched == len({e.tid for e in repaired.edits})
+
+    def test_by_attribute_totals(self, citizens, repaired):
+        report = repair_report(citizens, repaired)
+        assert sum(report.edits_by_attribute.values()) == report.total_edits
+
+    def test_top_rewrites_sorted(self, citizens, repaired):
+        report = repair_report(citizens, repaired)
+        counts = [count for *_rest, count in report.top_rewrites]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_limit(self, citizens, repaired):
+        report = repair_report(citizens, repaired, top=2)
+        assert len(report.top_rewrites) <= 2
+
+    def test_violations_absent_without_model(self, citizens, repaired):
+        report = repair_report(citizens, repaired)
+        assert report.violations == {}
+
+    def test_violations_before_after(
+        self, citizens, repaired, citizens_fds, citizens_thresholds
+    ):
+        model = DistanceModel(citizens)
+        report = repair_report(
+            citizens, repaired, citizens_fds, model, citizens_thresholds
+        )
+        assert set(report.violations) == {"phi1", "phi2", "phi3"}
+        for before, after in report.violations.values():
+            assert before > 0
+            assert after == 0  # the joint repair resolves everything
+
+
+class TestRendering:
+    def test_render_contains_key_sections(
+        self, citizens, repaired, citizens_fds, citizens_thresholds
+    ):
+        model = DistanceModel(citizens)
+        report = repair_report(
+            citizens, repaired, citizens_fds, model, citizens_thresholds
+        )
+        text = report.render()
+        assert "Edits by attribute" in text
+        assert "Most common rewrites" in text
+        assert "before -> after" in text
+        assert "phi2" in text
+
+    def test_render_empty_repair(self, citizens_truth, citizens_fds,
+                                 citizens_thresholds):
+        repairer = Repairer(
+            citizens_fds, algorithm="greedy-m", thresholds=citizens_thresholds
+        )
+        result = repairer.repair(citizens_truth)
+        report = repair_report(citizens_truth, result)
+        assert "0 cell edit(s)" in report.render()

@@ -1,0 +1,71 @@
+"""Tests for the FD graph decomposition (Section 4.1)."""
+
+from repro.core.constraints import parse_fds
+from repro.core.multi.fdgraph import (
+    component_attributes,
+    fd_components,
+    fds_share_attributes,
+)
+from repro.generator.hosp import HOSP_FDS
+from repro.generator.tax import TAX_FDS
+
+
+class TestSharing:
+    def test_shared_attribute_detected(self):
+        a, b = parse_fds(["A -> B", "B -> C"])
+        assert fds_share_attributes(a, b)
+
+    def test_disjoint_fds(self):
+        a, b = parse_fds(["A -> B", "X -> Y"])
+        assert not fds_share_attributes(a, b)
+
+    def test_lhs_lhs_sharing_counts(self):
+        a, b = parse_fds(["A, B -> C", "B, D -> E"])
+        assert fds_share_attributes(a, b)
+
+
+class TestComponents:
+    def test_single_fd(self):
+        fds = parse_fds(["A -> B"])
+        assert fd_components(fds) == [fds]
+
+    def test_chain_is_one_component(self):
+        fds = parse_fds(["A -> B", "B -> C", "C -> D"])
+        assert len(fd_components(fds)) == 1
+
+    def test_disjoint_split(self):
+        fds = parse_fds(["A -> B", "X -> Y", "B -> C"])
+        components = fd_components(fds)
+        assert len(components) == 2
+        assert [fd.name for fd in components[0]] == ["A->B", "B->C"]
+        assert [fd.name for fd in components[1]] == ["X->Y"]
+
+    def test_citizens_components(self, citizens_fds):
+        components = fd_components(citizens_fds)
+        # phi1 independent; phi2 and phi3 share City (Section 4.1)
+        assert [len(c) for c in components] == [1, 2]
+
+    def test_hosp_components(self):
+        components = fd_components(HOSP_FDS)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [3, 6]  # location component + measure component
+
+    def test_tax_components(self):
+        components = fd_components(TAX_FDS)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [2, 2, 5]
+
+    def test_order_preserved_within_component(self):
+        fds = parse_fds(["B -> C", "A -> B"])
+        assert [fd.name for fd in fd_components(fds)[0]] == ["B->C", "A->B"]
+
+
+class TestComponentAttributes:
+    def test_union_in_first_appearance_order(self):
+        fds = parse_fds(["B -> C", "A -> B"])
+        assert component_attributes(fds) == ["B", "C", "A"]
+
+    def test_no_duplicates(self, citizens_fds):
+        attrs = component_attributes(citizens_fds[1:])
+        assert len(attrs) == len(set(attrs))
+        assert set(attrs) == {"City", "State", "Street", "District"}

@@ -1,0 +1,177 @@
+"""Tests for the violation graph model (Section 3) on the running example."""
+
+import pytest
+
+from repro.core.graph import ViolationGraph
+
+
+@pytest.fixture
+def phi1_graph(citizens, citizens_model, citizens_fds, citizens_thresholds):
+    fd = citizens_fds[0]
+    return ViolationGraph.build(
+        citizens, fd, citizens_model, citizens_thresholds[fd]
+    )
+
+
+@pytest.fixture
+def phi2_graph(citizens, citizens_model, citizens_fds, citizens_thresholds):
+    fd = citizens_fds[1]
+    return ViolationGraph.build(
+        citizens, fd, citizens_model, citizens_thresholds[fd]
+    )
+
+
+class TestStructure:
+    def test_vertex_count_is_pattern_count(self, phi1_graph):
+        assert len(phi1_graph) == 7
+
+    def test_figure2_edge_set(self, phi1_graph):
+        """The paper's Fig. 2 graph of phi1, by pattern values."""
+        def vertex(values):
+            for i, p in enumerate(phi1_graph.patterns):
+                if p.values == values:
+                    return i
+            raise AssertionError(f"missing pattern {values}")
+
+        b3 = vertex(("Bachelors", 3.0))
+        b1 = vertex(("Bachelors", 1.0))
+        be3 = vertex(("Bachelers", 3.0))
+        m4 = vertex(("Masters", 4.0))
+        m3 = vertex(("Masters", 3.0))
+        ms4 = vertex(("Masers", 4.0))
+        hs = vertex(("HS-grad", 9.0))
+        assert phi1_graph.has_edge(b3, b1)
+        assert phi1_graph.has_edge(b3, be3)
+        assert phi1_graph.has_edge(b1, be3)
+        assert phi1_graph.has_edge(m4, m3)
+        assert phi1_graph.has_edge(m4, ms4)
+        assert phi1_graph.has_edge(m3, ms4)
+        # (Bachelors, 3) and (Masters, 4) are NOT adjacent (Example 8's
+        # best independent set contains both).
+        assert not phi1_graph.has_edge(b3, m4)
+        # HS-grad is isolated.
+        assert phi1_graph.degree(hs) == 0
+
+    def test_edges_are_symmetric(self, phi2_graph):
+        for u in range(len(phi2_graph)):
+            for v in phi2_graph.neighbors(u):
+                assert u in phi2_graph.neighbors(v)
+
+    def test_no_self_loops(self, phi2_graph):
+        for u in range(len(phi2_graph)):
+            assert u not in phi2_graph.neighbors(u)
+
+    def test_connected_components_partition(self, phi1_graph):
+        components = phi1_graph.connected_components()
+        flat = sorted(v for comp in components for v in comp)
+        assert flat == list(range(len(phi1_graph)))
+
+    def test_phi1_has_one_cluster_and_one_isolated(self, phi1_graph):
+        # The Bachelors and Masters clusters are linked through the
+        # (Bachelors,3)-(Masters,3) edge of Fig. 2; HS-grad is isolated.
+        sizes = sorted(len(c) for c in phi1_graph.connected_components())
+        assert sizes == [1, 6]
+
+    def test_ungrouped_graph_one_vertex_per_tuple(
+        self, citizens, citizens_model, citizens_fds, citizens_thresholds
+    ):
+        fd = citizens_fds[0]
+        graph = ViolationGraph.build(
+            citizens, fd, citizens_model, citizens_thresholds[fd], grouping=False
+        )
+        assert len(graph) == len(citizens)
+        assert all(graph.multiplicity(v) == 1 for v in range(len(graph)))
+
+
+class TestCosts:
+    def test_edge_cost_is_unweighted_sum(self, phi1_graph, citizens_model):
+        for u in range(len(phi1_graph)):
+            for v, cost in phi1_graph.neighbors(u).items():
+                expected = citizens_model.repair_cost(
+                    phi1_graph.fd.attributes,
+                    phi1_graph.patterns[u].values,
+                    phi1_graph.patterns[v].values,
+                )
+                assert cost == pytest.approx(expected)
+
+    def test_repair_cost_scales_with_multiplicity(self, phi1_graph):
+        for u in range(len(phi1_graph)):
+            for v in phi1_graph.neighbors(u):
+                assert phi1_graph.repair_cost(u, v) == pytest.approx(
+                    phi1_graph.multiplicity(u) * phi1_graph.pair_cost(u, v)
+                )
+
+    def test_pair_cost_defined_for_non_edges(self, phi1_graph):
+        # (Bachelors,3) vs (HS-grad,9): no edge, cost still computable
+        cost = phi1_graph.pair_cost(0, 3)
+        assert cost > 0
+
+    def test_pair_cost_zero_on_self(self, phi1_graph):
+        assert phi1_graph.pair_cost(2, 2) == 0.0
+
+
+class TestIndependentSets:
+    def test_example7_sets(self, phi2_graph):
+        """Independence of the grouped analogues of Example 7's sets."""
+        def vertex(values):
+            for i, p in enumerate(phi2_graph.patterns):
+                if p.values == values:
+                    return i
+            raise AssertionError(values)
+
+        ny = vertex(("New York", "NY"))
+        boston_ma = vertex(("Boston", "MA"))
+        boton = vertex(("Boton", "MA"))
+        assert phi2_graph.is_independent({ny, boston_ma})
+        # Boton conflicts with Boston: not independent together
+        assert not phi2_graph.is_independent({boston_ma, boton})
+
+    def test_maximality(self, phi2_graph):
+        members = set(range(len(phi2_graph)))
+        # the full vertex set is not independent (edges exist)
+        assert not phi2_graph.is_independent(members)
+
+    def test_empty_set_is_independent_not_maximal(self, phi2_graph):
+        assert phi2_graph.is_independent(set())
+        assert not phi2_graph.is_maximal_independent(set())
+
+    def test_consistent_subset(self, phi1_graph):
+        all_vertices = frozenset(range(len(phi1_graph)))
+        for u in range(len(phi1_graph)):
+            ftc = phi1_graph.consistent_subset(u, all_vertices)
+            assert u in ftc
+            assert not any(v in phi1_graph.neighbors(u) for v in ftc)
+
+    def test_repair_assignment_covers_non_members(self, phi1_graph):
+        from repro.core.single.mis import enumerate_maximal_independent_sets
+
+        for comp in phi1_graph.connected_components():
+            if len(comp) < 2:
+                continue
+            mis = enumerate_maximal_independent_sets(phi1_graph, comp)[0]
+            members = set(mis)
+            assignment, cost = phi1_graph.repair_assignment(
+                members | {v for c in phi1_graph.connected_components()
+                           if c != comp for v in c}
+            )
+            for source, target in assignment.items():
+                assert source not in members
+                assert target in members
+            assert cost >= 0
+
+    def test_repair_assignment_empty_set_raises(self, phi1_graph):
+        with pytest.raises(ValueError):
+            phi1_graph.repair_assignment(set())
+
+    def test_best_repair_target_prefers_neighbors(self, phi2_graph):
+        def vertex(values):
+            for i, p in enumerate(phi2_graph.patterns):
+                if p.values == values:
+                    return i
+            raise AssertionError(values)
+
+        boton = vertex(("Boton", "MA"))
+        boston = vertex(("Boston", "MA"))
+        ny = vertex(("New York", "NY"))
+        target = phi2_graph.best_repair_target(boton, {boston, ny})
+        assert target == boston

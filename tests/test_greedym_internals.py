@@ -1,0 +1,88 @@
+"""Unit tests for Greedy-M's synchronization machinery (Section 4.4)."""
+
+import pytest
+
+from repro.core.distances import DistanceModel
+from repro.core.graph import ViolationGraph
+from repro.core.multi.greedy import _FDState, repair_multi_fd_greedy
+
+
+@pytest.fixture
+def phi2_state(citizens, citizens_model, citizens_fds, citizens_thresholds):
+    fd = citizens_fds[1]
+    graph = ViolationGraph.build(
+        citizens, fd, citizens_model, citizens_thresholds[fd]
+    )
+    return _FDState(fd, graph, citizens)
+
+
+class TestFDState:
+    def test_conflict_weights_match_neighbor_multiplicities(self, phi2_state):
+        graph = phi2_state.graph
+        for v in range(len(graph)):
+            expected = sum(
+                graph.multiplicity(u) for u in graph.neighbors(v)
+            )
+            assert phi2_state.conflict_weight[v] == expected
+
+    def test_vertex_of_tid_covers_relation(self, phi2_state, citizens):
+        assert set(phi2_state.vertex_of_tid) == set(citizens.tids())
+        for tid, vertex in phi2_state.vertex_of_tid.items():
+            assert tid in phi2_state.graph.patterns[vertex].tids
+
+    def test_add_blocks_neighbors(self, phi2_state):
+        graph = phi2_state.graph
+        vertex = max(range(len(graph)), key=graph.degree)
+        phi2_state.add(vertex)
+        assert vertex in phi2_state.chosen
+        for neighbor in graph.neighbors(vertex):
+            assert neighbor in phi2_state.blocked
+
+    def test_candidates_shrink_after_add(self, phi2_state):
+        before = set(phi2_state.candidates())
+        vertex = next(iter(before))
+        phi2_state.add(vertex)
+        after = set(phi2_state.candidates())
+        assert vertex not in after
+        assert after < before
+
+    def test_conflicts_of_existing_pattern(self, citizens_model, phi2_state,
+                                           citizens_thresholds, citizens_fds):
+        tau = citizens_thresholds[citizens_fds[1]]
+        graph = phi2_state.graph
+        for v in range(len(graph)):
+            got = phi2_state.conflicts_of_values(
+                graph.patterns[v].values, citizens_model, tau
+            )
+            assert got == phi2_state.conflict_weight[v]
+
+    def test_conflicts_of_novel_pattern(self, citizens_model, phi2_state,
+                                        citizens_thresholds, citizens_fds):
+        tau = citizens_thresholds[citizens_fds[1]]
+        # (Boson, MA): a value combination not present in the data,
+        # close to (Boston, MA) m4 and (Boton, MA) m1
+        got = phi2_state.conflicts_of_values(("Boson", "MA"), citizens_model, tau)
+        assert got >= 5
+
+    def test_novel_pattern_cached(self, citizens_model, phi2_state,
+                                  citizens_thresholds, citizens_fds):
+        tau = citizens_thresholds[citizens_fds[1]]
+        phi2_state.conflicts_of_values(("Boson", "MA"), citizens_model, tau)
+        assert ("Boson", "MA") in phi2_state._novel_cache
+
+    def test_median_edge_cost_positive(self, phi2_state):
+        assert phi2_state.median_edge_cost > 0
+
+
+class TestSynchronizationEffect:
+    def test_synchronization_repairs_t5_city_not_district(
+        self, citizens, citizens_model, citizens_fds, citizens_thresholds
+    ):
+        """Section 4.4's motivating case: considering phi3 jointly, t5's
+        City must move to New York rather than its District to
+        Financial."""
+        result = repair_multi_fd_greedy(
+            citizens, citizens_fds[1:], citizens_model, citizens_thresholds
+        )
+        assert result.relation.value(4, "City") == "New York"
+        assert result.relation.value(4, "District") == "Manhattan"

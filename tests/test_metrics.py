@@ -1,0 +1,81 @@
+"""Tests for precision/recall scoring."""
+
+import pytest
+
+from repro.core.repair import CellEdit
+from repro.eval.metrics import RepairQuality, evaluate_repair
+
+
+def edit(tid, attr, new):
+    return CellEdit(tid, attr, "old", new)
+
+
+class TestEvaluateRepair:
+    def test_perfect_repair(self):
+        truth = {(0, "A"): "x", (1, "B"): "y"}
+        quality = evaluate_repair([edit(0, "A", "x"), edit(1, "B", "y")], truth)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_wrong_value_counts_against_both(self):
+        truth = {(0, "A"): "x"}
+        quality = evaluate_repair([edit(0, "A", "WRONG")], truth)
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+
+    def test_false_positive_edit(self):
+        truth = {(0, "A"): "x"}
+        quality = evaluate_repair(
+            [edit(0, "A", "x"), edit(5, "Z", "spurious")], truth
+        )
+        assert quality.precision == 0.5
+        assert quality.recall == 1.0
+
+    def test_missed_error(self):
+        truth = {(0, "A"): "x", (1, "B"): "y"}
+        quality = evaluate_repair([edit(0, "A", "x")], truth)
+        assert quality.precision == 1.0
+        assert quality.recall == 0.5
+
+    def test_no_edits_on_clean_data(self):
+        quality = evaluate_repair([], {})
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+
+    def test_no_edits_with_errors(self):
+        quality = evaluate_repair([], {(0, "A"): "x"})
+        assert quality.precision == 1.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_variable_partial_credit(self):
+        truth = {(0, "A"): "x"}
+        quality = evaluate_repair(
+            [edit(0, "A", "_LLUN_1")], truth, variables={(0, "A")}
+        )
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+
+    def test_variable_on_clean_cell_gets_nothing(self):
+        truth = {(9, "Z"): "q"}
+        quality = evaluate_repair(
+            [edit(0, "A", "_LLUN_1")], truth, variables={(0, "A")}
+        )
+        assert quality.precision == 0.0
+
+    def test_numeric_tolerance(self):
+        truth = {(0, "N"): 3}
+        quality = evaluate_repair([edit(0, "N", 3.0)], truth)
+        assert quality.precision == 1.0
+
+    def test_f1_harmonic_mean(self):
+        truth = {(0, "A"): "x", (1, "B"): "y"}
+        quality = evaluate_repair(
+            [edit(0, "A", "x"), edit(5, "Z", "junk")], truth
+        )
+        assert quality.f1 == pytest.approx(2 * 0.5 * 0.5 / (0.5 + 0.5))
+
+    def test_str_rendering(self):
+        quality = evaluate_repair([], {})
+        assert "P=1.000" in str(quality)

@@ -1,0 +1,146 @@
+"""Tests for the shared multi-FD plumbing (repro.core.multi.base)."""
+
+import pytest
+
+from repro.core.multi.base import (
+    component_projections,
+    evaluate_sets,
+    repair_with_sets,
+    split_resolved,
+)
+from repro.core.multi.fdgraph import component_attributes
+from repro.core.repair import apply_edits
+
+
+@pytest.fixture
+def component(citizens_fds):
+    return citizens_fds[1:]  # phi2, phi3
+
+
+@pytest.fixture
+def attrs(component):
+    return tuple(component_attributes(component))
+
+
+@pytest.fixture
+def example_sets():
+    return [
+        [("New York", "NY"), ("Boston", "MA")],
+        [
+            ("New York", "Main", "Manhattan"),
+            ("New York", "Western", "Queens"),
+            ("Boston", "Main", "Financial"),
+            ("Boston", "Arlingto", "Brookside"),
+        ],
+    ]
+
+
+class TestProjections:
+    def test_groups_cover_all_tuples(self, citizens, attrs):
+        groups = component_projections(citizens, attrs)
+        tids = sorted(t for ts in groups.values() for t in ts)
+        assert tids == list(citizens.tids())
+
+    def test_projection_keys_match_attribute_order(self, citizens, attrs):
+        groups = component_projections(citizens, attrs)
+        for projection, tids in groups.items():
+            for tid in tids:
+                assert citizens.project(tid, attrs) == projection
+
+
+class TestSplitResolved:
+    def test_resolved_iff_all_patterns_in_sets(
+        self, citizens, component, attrs, example_sets
+    ):
+        groups = component_projections(citizens, attrs)
+        resolved, unresolved = split_resolved(
+            groups, component, attrs, example_sets
+        )
+        assert set(resolved) | set(unresolved) == set(groups)
+        assert not set(resolved) & set(unresolved)
+        element_sets = [set(e) for e in example_sets]
+        for projection in resolved:
+            for fd, members in zip(component, element_sets):
+                pattern = tuple(
+                    projection[attrs.index(a)] for a in fd.attributes
+                )
+                assert pattern in members
+
+    def test_t5_projection_unresolved(self, citizens, component, attrs,
+                                      example_sets):
+        """t5 (Zoe): (Boston, ..., Manhattan, NY) is in no set."""
+        groups = component_projections(citizens, attrs)
+        _, unresolved = split_resolved(groups, component, attrs, example_sets)
+        t5 = citizens.project(4, attrs)
+        assert t5 in unresolved
+
+
+class TestEvaluateAndRepair:
+    def test_evaluate_matches_repair_cost(
+        self, citizens, citizens_model, component, example_sets
+    ):
+        cost = evaluate_sets(
+            citizens, component, citizens_model, example_sets
+        )
+        edits, repair_cost, _ = repair_with_sets(
+            citizens, component, citizens_model, example_sets
+        )
+        assert cost == pytest.approx(repair_cost)
+
+    def test_tree_and_naive_evaluation_agree(
+        self, citizens, citizens_model, component, example_sets
+    ):
+        with_tree = evaluate_sets(
+            citizens, component, citizens_model, example_sets, use_tree=True
+        )
+        without = evaluate_sets(
+            citizens, component, citizens_model, example_sets, use_tree=False
+        )
+        assert with_tree == pytest.approx(without)
+
+    def test_repaired_projections_are_targets(
+        self, citizens, citizens_model, component, attrs, example_sets
+    ):
+        from repro.core.multi.targets import join_targets
+
+        edits, _, _ = repair_with_sets(
+            citizens, component, citizens_model, example_sets
+        )
+        repaired = apply_edits(citizens, edits)
+        target_values = {
+            t.values for t in join_targets(component, example_sets)
+        }
+        for tid in citizens.tids():
+            assert repaired.project(tid, attrs) in target_values
+
+    def test_resolved_tuples_untouched(
+        self, citizens, citizens_model, component, example_sets
+    ):
+        edits, _, _ = repair_with_sets(
+            citizens, component, citizens_model, example_sets
+        )
+        touched = {e.tid for e in edits}
+        # t1 (Janaina) matches (New York, NY) and (New York, Main,
+        # Manhattan): fully resolved, must not be edited.
+        assert 0 not in touched
+
+    def test_stats_describe_run(self, citizens, citizens_model, component,
+                                example_sets):
+        _, _, stats = repair_with_sets(
+            citizens, component, citizens_model, example_sets
+        )
+        assert stats["component_attributes"] == 4
+        assert stats["unresolved_projections"] >= 1
+        assert "target_tree_nodes" in stats
+
+    def test_fully_resolved_instance_no_edits(
+        self, citizens_truth, component, example_sets
+    ):
+        from repro.core.distances import DistanceModel
+
+        model = DistanceModel(citizens_truth)
+        edits, cost, _ = repair_with_sets(
+            citizens_truth, component, model, example_sets
+        )
+        assert edits == []
+        assert cost == 0.0

@@ -1,0 +1,119 @@
+"""Tests for the noise injector (Section 6.1's protocol)."""
+
+import pytest
+
+from repro.core.constraints import parse_fds
+from repro.generator.noise import (
+    ErrorKind,
+    NoiseConfig,
+    error_cells,
+    inject_noise,
+)
+from repro.generator.hosp import HOSP_FDS, generate_hosp
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return generate_hosp(500, rng=5, n_facilities=15, n_measures=6)
+
+
+class TestConfig:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(error_rate=1.5)
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(rhs_share=0.5, lhs_share=0.5, typo_share=0.5)
+
+    def test_default_shares_are_thirds(self):
+        config = NoiseConfig()
+        assert config.rhs_share == pytest.approx(1 / 3)
+
+
+class TestInjection:
+    def test_error_count_matches_rate(self, clean):
+        config = NoiseConfig(error_rate=0.05)
+        _, errors = inject_noise(clean, HOSP_FDS, config, rng=1)
+        constrained = {a for fd in HOSP_FDS for a in fd.attributes}
+        expected = round(0.05 * len(clean) * len(constrained))
+        assert abs(len(errors) - expected) <= expected * 0.05 + 2
+
+    def test_input_untouched(self, clean):
+        snapshot = clean.copy()
+        inject_noise(clean, HOSP_FDS, NoiseConfig(0.05), rng=2)
+        assert clean == snapshot
+
+    def test_dirty_differs_exactly_at_logged_cells(self, clean):
+        dirty, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.04), rng=3)
+        logged = {e.cell for e in errors}
+        for tid in clean.tids():
+            for attr in clean.schema.names:
+                same = clean.value(tid, attr) == dirty.value(tid, attr)
+                assert same == ((tid, attr) not in logged)
+
+    def test_each_cell_corrupted_once(self, clean):
+        _, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.08), rng=4)
+        cells = [e.cell for e in errors]
+        assert len(cells) == len(set(cells))
+
+    def test_error_log_values(self, clean):
+        dirty, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.04), rng=5)
+        for error in errors:
+            assert clean.value(error.tid, error.attribute) == error.clean
+            assert dirty.value(error.tid, error.attribute) == error.dirty
+            assert error.clean != error.dirty
+
+    def test_three_kinds_present(self, clean):
+        _, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.06), rng=6)
+        kinds = {e.kind for e in errors}
+        assert kinds == {ErrorKind.RHS, ErrorKind.LHS, ErrorKind.TYPO}
+
+    def test_kind_shares_roughly_equal(self, clean):
+        _, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.08), rng=7)
+        from collections import Counter
+
+        counts = Counter(e.kind for e in errors)
+        total = sum(counts.values())
+        for kind in ErrorKind:
+            assert counts[kind] / total == pytest.approx(1 / 3, abs=0.08)
+
+    def test_rhs_errors_hit_rhs_attributes(self, clean):
+        _, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.05), rng=8)
+        rhs_attrs = {a for fd in HOSP_FDS for a in fd.rhs}
+        lhs_attrs = {a for fd in HOSP_FDS for a in fd.lhs}
+        for error in errors:
+            if error.kind is ErrorKind.RHS:
+                assert error.attribute in rhs_attrs
+            elif error.kind is ErrorKind.LHS:
+                assert error.attribute in lhs_attrs
+
+    def test_swaps_stay_in_active_domain(self, clean):
+        _, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.05), rng=9)
+        for error in errors:
+            if error.kind is not ErrorKind.TYPO:
+                domain = clean.active_domain(error.attribute)
+                assert error.dirty in domain
+
+    def test_zero_rate_injects_nothing(self, clean):
+        dirty, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.0), rng=10)
+        assert errors == []
+        assert dirty == clean
+
+    def test_deterministic_for_seed(self, clean):
+        a = inject_noise(clean, HOSP_FDS, NoiseConfig(0.04), rng=11)
+        b = inject_noise(clean, HOSP_FDS, NoiseConfig(0.04), rng=11)
+        assert a[0] == b[0]
+        assert a[1] == b[1]
+
+    def test_error_cells_mapping(self, clean):
+        _, errors = inject_noise(clean, HOSP_FDS, NoiseConfig(0.04), rng=12)
+        truth = error_cells(errors)
+        assert len(truth) == len(errors)
+        for error in errors:
+            assert truth[error.cell] == error.clean
+
+    def test_no_fd_attributes_yields_no_errors(self, clean):
+        fds = parse_fds(["Quarter -> Source"])  # unconstrained free attrs
+        _, errors = inject_noise(clean, [], NoiseConfig(0.5), rng=13)
+        assert errors == []

@@ -1,0 +1,94 @@
+"""Tests for column profiling."""
+
+import pytest
+
+from repro.dataset.profile import (
+    ColumnProfile,
+    profile_column,
+    profile_relation,
+    render_profile,
+    suggest_numeric,
+)
+from repro.dataset.relation import Relation, Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema.of("id", "city", "zipish", "score", numeric=["score"])
+    return Relation(
+        schema,
+        [
+            ("r1", "boston", "02134", 10),
+            ("r2", "boston", "02135", 20),
+            ("r3", "austin", "78701", 30),
+            ("r4", "", "78701", 40),
+        ],
+    )
+
+
+class TestProfileColumn:
+    def test_distinct_and_uniqueness(self, relation):
+        profile = profile_column(relation, "city")
+        assert profile.distinct == 3  # boston, austin, ""
+        assert profile.uniqueness == pytest.approx(0.75)
+
+    def test_key_like_flag(self, relation):
+        assert profile_column(relation, "id").is_key_like
+        assert not profile_column(relation, "city").is_key_like
+
+    def test_constant_flag(self):
+        rel = Relation(Schema.of("A"), [("x",), ("x",)])
+        assert profile_column(rel, "A").is_constant
+
+    def test_empty_counting(self, relation):
+        assert profile_column(relation, "city").empty == 1
+        assert profile_column(relation, "id").empty == 0
+
+    def test_lengths(self, relation):
+        profile = profile_column(relation, "city")
+        assert profile.min_length == 0  # the empty string
+        assert profile.max_length == 6
+
+    def test_numeric_columns_have_no_lengths(self, relation):
+        profile = profile_column(relation, "score")
+        assert profile.min_length == profile.max_length == 0
+        assert profile.kind == "numeric"
+
+    def test_most_common(self, relation):
+        profile = profile_column(relation, "city")
+        assert profile.most_common == "boston"
+        assert profile.most_common_count == 2
+
+    def test_empty_relation(self):
+        rel = Relation(Schema.of("A"))
+        profile = profile_column(rel, "A")
+        assert profile.distinct == 0
+        assert profile.uniqueness == 0.0
+
+
+class TestProfileRelation:
+    def test_covers_all_columns_in_order(self, relation):
+        profiles = profile_relation(relation)
+        assert [p.name for p in profiles] == list(relation.schema.names)
+
+    def test_render(self, relation):
+        text = render_profile(profile_relation(relation))
+        assert "city" in text and "uniq" in text and "key" in text
+
+
+class TestSuggestNumeric:
+    def test_flags_numeric_looking_strings(self, relation):
+        assert suggest_numeric(relation) == ["zipish"]
+
+    def test_ignores_actual_numerics_and_text(self, relation):
+        suggested = suggest_numeric(relation)
+        assert "score" not in suggested
+        assert "city" not in suggested
+
+    def test_empty_values_tolerated(self):
+        rel = Relation(Schema.of("A"), [("",), ("1.5",), ("2",)])
+        assert suggest_numeric(rel) == ["A"]
+
+    def test_all_empty_column_not_flagged(self):
+        rel = Relation(Schema.of("A"), [("",), ("",)])
+        assert suggest_numeric(rel) == []

@@ -1,0 +1,113 @@
+"""Tests for CellEdit / RepairResult plumbing."""
+
+import pytest
+
+from repro.core.repair import (
+    CellEdit,
+    RepairResult,
+    apply_edits,
+    collect_edits,
+    edits_from_assignment,
+    merge_results,
+)
+from repro.dataset.relation import Relation, Schema
+
+
+class TestCellEdit:
+    def test_cell_property(self):
+        edit = CellEdit(3, "City", "a", "b")
+        assert edit.cell == (3, "City")
+
+    def test_str_rendering(self):
+        text = str(CellEdit(3, "City", "a", "b"))
+        assert "t3[City]" in text and "'a'" in text and "'b'" in text
+
+
+class TestApplyAndDiff:
+    def test_apply_edits_does_not_mutate_input(self, simple_relation):
+        apply_edits(simple_relation, [CellEdit(0, "A", "x1", "patched")])
+        assert simple_relation.value(0, "A") == "x1"
+
+    def test_apply_edits_in_order(self, simple_relation):
+        repaired = apply_edits(
+            simple_relation,
+            [CellEdit(0, "A", "x1", "mid"), CellEdit(0, "A", "mid", "final")],
+        )
+        assert repaired.value(0, "A") == "final"
+
+    def test_collect_edits_roundtrip(self, simple_relation):
+        edits = [CellEdit(1, "B", "y1", "patched"), CellEdit(2, "N", 3.0, 9.0)]
+        repaired = apply_edits(simple_relation, edits)
+        diff = collect_edits(simple_relation, repaired)
+        assert {e.cell for e in diff} == {e.cell for e in edits}
+
+    def test_collect_edits_rejects_mismatched(self, simple_relation):
+        other = Relation(Schema.of("A"), [("x",)])
+        with pytest.raises(ValueError):
+            collect_edits(simple_relation, other)
+
+    def test_edits_from_assignment_skips_unchanged(self, simple_relation):
+        edits = edits_from_assignment(
+            simple_relation, ("A", "B"), {0: ("x1", "new")}
+        )
+        assert len(edits) == 1
+        assert edits[0].cell == (0, "B")
+
+    def test_edits_from_assignment_arity_check(self, simple_relation):
+        with pytest.raises(ValueError):
+            edits_from_assignment(simple_relation, ("A", "B"), {0: ("only",)})
+
+
+class TestRepairResult:
+    def test_summary(self, simple_relation):
+        result = RepairResult(simple_relation, [], 0.0)
+        assert "0 cell edit" in result.summary()
+
+    def test_edits_by_cell_last_wins(self, simple_relation):
+        result = RepairResult(
+            simple_relation,
+            [CellEdit(0, "A", "x1", "v1"), CellEdit(0, "A", "v1", "v2")],
+            0.0,
+        )
+        assert result.edits_by_cell()[(0, "A")].new == "v2"
+
+    def test_edited_cells(self, simple_relation):
+        result = RepairResult(
+            simple_relation, [CellEdit(0, "A", "x1", "v1")], 0.0
+        )
+        assert result.edited_cells == [(0, "A")]
+
+
+class TestMergeResults:
+    def test_merges_edits_and_costs(self, simple_relation):
+        part1 = RepairResult(
+            simple_relation, [CellEdit(0, "A", "x1", "p")], 1.0, {"n": 1}
+        )
+        part2 = RepairResult(
+            simple_relation, [CellEdit(1, "B", "y1", "q")], 2.0, {"n": 2}
+        )
+        merged = merge_results(simple_relation, [part1, part2])
+        assert merged.cost == 3.0
+        assert len(merged.edits) == 2
+        assert merged.relation.value(0, "A") == "p"
+        assert merged.stats["n"] == 3  # numeric stats add
+
+    def test_conflicting_edits_rejected(self, simple_relation):
+        part1 = RepairResult(
+            simple_relation, [CellEdit(0, "A", "x1", "p")], 0.0
+        )
+        part2 = RepairResult(
+            simple_relation, [CellEdit(0, "A", "x1", "q")], 0.0
+        )
+        with pytest.raises(ValueError):
+            merge_results(simple_relation, [part1, part2])
+
+    def test_duplicate_identical_edits_allowed(self, simple_relation):
+        part1 = RepairResult(
+            simple_relation, [CellEdit(0, "A", "x1", "p")], 0.0
+        )
+        part2 = RepairResult(
+            simple_relation, [CellEdit(0, "A", "x1", "p")], 0.0
+        )
+        merged = merge_results(simple_relation, [part1, part2])
+        assert merged.relation.value(0, "A") == "p"

@@ -1,0 +1,108 @@
+"""Tests for the confidence-ranked review queue."""
+
+import pytest
+
+from repro.core.engine import Repairer
+from repro.eval.review import RankedEdit, ReviewQueue, rank_repairs
+
+
+@pytest.fixture
+def repaired(citizens, citizens_fds, citizens_thresholds):
+    repairer = Repairer(
+        citizens_fds, algorithm="greedy-m", thresholds=citizens_thresholds
+    )
+    return repairer.repair(citizens)
+
+
+class TestRanking:
+    def test_one_item_per_edit(self, citizens, repaired):
+        ranked = rank_repairs(citizens, repaired)
+        assert len(ranked) == len(repaired.edits)
+
+    def test_sorted_least_confident_first(self, citizens, repaired):
+        ranked = rank_repairs(citizens, repaired)
+        confidences = [item.confidence for item in ranked]
+        assert confidences == sorted(confidences)
+
+    def test_confidence_in_unit_interval(self, citizens, repaired):
+        for item in rank_repairs(citizens, repaired):
+            assert 0.0 <= item.confidence <= 1.0
+
+    def test_typo_fix_outranks_big_rewrite(self, citizens, repaired):
+        """Masers -> Masters (tiny distance, strong support) must be
+        more confident than a full-value State swap."""
+        ranked = {item.edit.cell: item for item in rank_repairs(citizens, repaired)}
+        typo_fix = ranked[(5, "Education")]
+        state_swap = ranked[(3, "State")]
+        assert typo_fix.confidence > state_swap.confidence
+
+    def test_support_counts_pre_repair_values(self, citizens, repaired):
+        ranked = {item.edit.cell: item for item in rank_repairs(citizens, repaired)}
+        # 'Masters' appears 3 times in the dirty relation
+        assert ranked[(5, "Education")].support == 3
+
+    def test_str(self, citizens, repaired):
+        item = rank_repairs(citizens, repaired)[0]
+        assert "confidence" in str(item)
+
+
+class TestQueue:
+    def test_pending_starts_full(self, citizens, repaired):
+        queue = ReviewQueue(citizens, repaired)
+        assert len(queue.pending()) == len(repaired.edits)
+
+    def test_approve_and_apply(self, citizens, repaired):
+        queue = ReviewQueue(citizens, repaired)
+        first = queue.pending()[0]
+        queue.approve(first.edit.cell)
+        cleaned = queue.apply()
+        tid, attr = first.edit.cell
+        assert cleaned.value(tid, attr) == first.edit.new
+        # nothing else changed
+        changed = sum(
+            1
+            for t in citizens.tids()
+            for a in citizens.schema.names
+            if cleaned.value(t, a) != citizens.value(t, a)
+        )
+        assert changed == 1
+
+    def test_reject_keeps_old_value(self, citizens, repaired):
+        queue = ReviewQueue(citizens, repaired)
+        item = queue.pending()[0]
+        queue.reject(item.edit.cell)
+        cleaned = queue.apply()
+        tid, attr = item.edit.cell
+        assert cleaned.value(tid, attr) == item.edit.old
+
+    def test_decisions_are_revisable(self, citizens, repaired):
+        queue = ReviewQueue(citizens, repaired)
+        cell = queue.pending()[0].edit.cell
+        queue.reject(cell)
+        queue.approve(cell)
+        assert queue.approved_count == 1
+        assert queue.rejected_count == 0
+
+    def test_unknown_cell_rejected(self, citizens, repaired):
+        queue = ReviewQueue(citizens, repaired)
+        with pytest.raises(KeyError):
+            queue.approve((99, "Nope"))
+
+    def test_auto_approve_threshold(self, citizens, repaired):
+        queue = ReviewQueue(citizens, repaired)
+        approved = queue.auto_approve(min_confidence=0.5)
+        assert approved == queue.approved_count
+        for item in queue.pending():
+            assert item.confidence < 0.5
+
+    def test_approve_everything_reproduces_full_repair(self, citizens,
+                                                       repaired):
+        queue = ReviewQueue(citizens, repaired)
+        queue.auto_approve(min_confidence=0.0)
+        assert queue.apply() == repaired.relation
+
+    def test_reject_everything_keeps_original(self, citizens, repaired):
+        queue = ReviewQueue(citizens, repaired)
+        for item in list(queue.pending()):
+            queue.reject(item.edit.cell)
+        assert queue.apply() == citizens

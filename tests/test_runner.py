@@ -1,0 +1,145 @@
+"""Tests for the experiment runner and reporting."""
+
+import pytest
+
+from repro.eval.reporting import format_series, format_table
+from repro.eval.runner import (
+    DATASETS,
+    SYSTEMS,
+    Trial,
+    build_system,
+    run_trial,
+    sweep,
+)
+
+
+class TestTrial:
+    def test_workload_shapes(self):
+        trial = Trial(dataset="hosp", n=120, n_fds=3, error_rate=0.04, seed=1)
+        clean, dirty, truth, fds, thresholds = trial.workload()
+        assert len(clean) == len(dirty) == 120
+        assert len(fds) == 3
+        assert set(thresholds) == set(fds)
+        assert truth  # some errors injected
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            Trial(dataset="imdb").workload()
+
+    def test_datasets_registry(self):
+        assert set(DATASETS) == {"hosp", "tax"}
+
+    def test_workload_deterministic(self):
+        trial = Trial(dataset="tax", n=100, seed=5)
+        a = trial.workload()
+        b = trial.workload()
+        assert a[1] == b[1]
+        assert a[2] == b[2]
+
+
+class TestSystems:
+    def test_every_registered_system_builds(self):
+        trial = Trial(n=60, seed=2)
+        _, _, _, fds, thresholds = trial.workload()
+        for system in SYSTEMS:
+            runner = build_system(system, fds, thresholds, trial)
+            assert hasattr(runner, "repair")
+
+    def test_unknown_system(self):
+        trial = Trial(n=60, seed=2)
+        _, _, _, fds, thresholds = trial.workload()
+        with pytest.raises(KeyError):
+            build_system("chatgpt", fds, thresholds, trial)
+
+    def test_notree_variant_configures_repairer(self):
+        trial = Trial(n=60, seed=2)
+        _, _, _, fds, thresholds = trial.workload()
+        repairer = build_system("appro-m-notree", fds, thresholds, trial)
+        assert repairer.use_tree is False
+        assert repairer.algorithm == "appro-m"
+
+
+class TestRunAndSweep:
+    def test_run_trial_scores(self):
+        trial = Trial(dataset="hosp", n=150, n_fds=2, seed=3)
+        result = run_trial("greedy-m", trial)
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+        assert result.seconds > 0
+        assert result.edits >= 0
+
+    def test_sweep_cross_product(self):
+        trials = [Trial(n=80, n_fds=2, seed=s) for s in (1, 2)]
+        results = sweep(["greedy-m", "nadeef"], trials)
+        assert len(results) == 4
+        assert {r.system for r in results} == {"greedy-m", "nadeef"}
+
+    def test_llunatic_partial_credit_flows_through(self):
+        trial = Trial(dataset="hosp", n=150, n_fds=3, seed=4,
+                      error_rate=0.08)
+        result = run_trial("llunatic", trial)
+        assert result.quality is not None
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["x", "y"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "x" in lines[0]
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["alpha"], [])
+        assert "alpha" in text
+
+    def test_format_series(self):
+        trials = [Trial(n=80, n_fds=2, seed=s) for s in (1,)]
+        results = sweep(["greedy-m", "nadeef"], trials)
+        text = format_series(
+            results, "N", lambda r: r.trial.n, metric="precision"
+        )
+        assert "greedy-m" in text and "nadeef" in text and "80" in text
+
+    def test_format_series_all_metrics(self):
+        trials = [Trial(n=80, n_fds=2, seed=1)]
+        results = sweep(["greedy-m"], trials)
+        for metric in ("precision", "recall", "f1", "seconds"):
+            assert format_series(results, "N", lambda r: r.trial.n, metric)
+
+    def test_format_series_unknown_metric(self):
+        trials = [Trial(n=80, n_fds=2, seed=1)]
+        results = sweep(["greedy-m"], trials)
+        with pytest.raises(ValueError):
+            format_series(results, "N", lambda r: r.trial.n, "vibes")
+
+
+class TestChart:
+    def test_format_chart_renders_bars(self):
+        from repro.eval.reporting import format_chart
+
+        trials = [Trial(n=80, n_fds=2, seed=1)]
+        results = sweep(["greedy-m", "nadeef"], trials)
+        chart = format_chart(results, lambda r: r.trial.n, "precision")
+        assert "#" in chart
+        assert "greedy-m" in chart and "nadeef" in chart
+
+    def test_format_chart_seconds_scales_to_max(self):
+        from repro.eval.reporting import format_chart
+
+        trials = [Trial(n=80, n_fds=2, seed=1)]
+        results = sweep(["greedy-m"], trials)
+        chart = format_chart(results, lambda r: r.trial.n, "seconds")
+        assert "[seconds]" in chart
+
+    def test_format_chart_unknown_metric(self):
+        from repro.eval.reporting import format_chart
+
+        trials = [Trial(n=80, n_fds=2, seed=1)]
+        results = sweep(["greedy-m"], trials)
+        with pytest.raises(ValueError):
+            format_chart(results, lambda r: r.trial.n, "vibes")
+
+    def test_format_chart_empty(self):
+        from repro.eval.reporting import format_chart
+
+        assert format_chart([], lambda r: r.trial.n) == "(no data)"

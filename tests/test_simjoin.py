@@ -1,0 +1,90 @@
+"""Tests for the similarity self-join strategies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel
+from repro.core.violation import group_patterns
+from repro.dataset.relation import Relation, Schema
+from repro.index.simjoin import STRATEGIES, SimilarityJoin
+
+
+@pytest.fixture
+def fd():
+    return FD.parse("City -> State")
+
+
+def _join(citizens, model, fd, tau, strategy):
+    join = SimilarityJoin(fd, model, tau, strategy=strategy)
+    patterns = group_patterns(citizens, fd)
+    pairs = join.join(patterns)
+    return {
+        frozenset((v.left.values, v.right.values)) for v in pairs
+    }, join
+
+
+class TestStrategies:
+    def test_unknown_strategy_rejected(self, citizens_model, fd):
+        with pytest.raises(ValueError):
+            SimilarityJoin(fd, citizens_model, 0.5, strategy="magic")
+
+    def test_negative_tau_rejected(self, citizens_model, fd):
+        with pytest.raises(ValueError):
+            SimilarityJoin(fd, citizens_model, -0.1)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_finds_expected_citizens_pairs(self, citizens, citizens_model, fd,
+                                           strategy):
+        pairs, _ = _join(citizens, citizens_model, fd, 0.55, strategy)
+        # (Boton, MA) must pair with (Boston, MA) — the t8 typo
+        assert frozenset({("Boton", "MA"), ("Boston", "MA")}) in pairs
+
+    def test_all_strategies_agree(self, citizens, citizens_model, fd):
+        reference, _ = _join(citizens, citizens_model, fd, 0.55, "naive")
+        for strategy in STRATEGIES[1:]:
+            pairs, _ = _join(citizens, citizens_model, fd, 0.55, strategy)
+            assert pairs == reference
+
+    def test_filter_counters(self, citizens, citizens_model, fd):
+        _, join = _join(citizens, citizens_model, fd, 0.55, "qgram")
+        assert join.pairs_examined == 10  # 5 distinct patterns -> C(5,2)
+        assert 0 <= join.pairs_filtered <= join.pairs_examined
+
+    def test_tau_zero_yields_nothing(self, citizens, citizens_model, fd):
+        pairs, _ = _join(citizens, citizens_model, fd, 0.0, "filtered")
+        assert pairs == set()
+
+    def test_large_tau_yields_all_pairs(self, citizens, citizens_model, fd):
+        pairs, join = _join(citizens, citizens_model, fd, 10.0, "filtered")
+        assert len(pairs) == join.pairs_examined
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.text("abcd", min_size=1, max_size=6),
+            st.text("xy", min_size=1, max_size=4),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    tau=st.floats(0.0, 1.2),
+)
+def test_property_strategies_identical_on_random_relations(rows, tau):
+    schema = Schema.of("City", "State")
+    relation = Relation(schema, rows)
+    fd = FD.parse("City -> State")
+    model = DistanceModel(relation)
+    patterns = group_patterns(relation, fd)
+    results = []
+    for strategy in STRATEGIES:
+        join = SimilarityJoin(fd, model, tau, strategy=strategy)
+        results.append(
+            {
+                frozenset((v.left.values, v.right.values))
+                for v in join.join(patterns)
+            }
+        )
+    assert results[0] == results[1] == results[2]

@@ -1,0 +1,164 @@
+"""Tests for the target tree (Section 5): structure + search correctness."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import parse_fds
+from repro.core.distances import DistanceModel
+from repro.core.multi.target_tree import TargetTree
+from repro.core.multi.targets import (
+    TargetJoinError,
+    join_targets,
+    nearest_target_naive,
+)
+from repro.dataset.relation import Relation, Schema
+
+
+@pytest.fixture
+def component_fds(citizens_fds):
+    return citizens_fds[1:]
+
+
+@pytest.fixture
+def example_sets():
+    return [
+        [("New York", "NY"), ("Boston", "MA")],
+        [
+            ("New York", "Main", "Manhattan"),
+            ("New York", "Western", "Queens"),
+            ("Boston", "Main", "Financial"),
+            ("Boston", "Arlingto", "Brookside"),
+        ],
+    ]
+
+
+class TestConstruction:
+    def test_targets_match_naive_join(self, component_fds, example_sets,
+                                      citizens_model):
+        tree = TargetTree(component_fds, example_sets, citizens_model)
+        tree_targets = {t.values for t in tree.targets()}
+        naive = {t.values for t in join_targets(component_fds, example_sets)}
+        assert tree_targets == naive
+
+    def test_smaller_sets_near_root(self, component_fds, example_sets,
+                                    citizens_model):
+        tree = TargetTree(component_fds, example_sets, citizens_model)
+        # phi2 has 2 elements, phi3 has 4: phi2 forms level 1
+        assert tree.fds[0].name == "phi2"
+        assert len(tree.root.children) == 2
+
+    def test_attribute_order_follows_caller(self, component_fds, example_sets,
+                                            citizens_model):
+        tree = TargetTree(component_fds, example_sets, citizens_model)
+        # caller order: phi2 then phi3 -> City, State, Street, District
+        assert tree.attributes == ("City", "State", "Street", "District")
+        # ...even when the sets are passed in reverse size order
+        reversed_tree = TargetTree(
+            list(reversed(component_fds)),
+            list(reversed(example_sets)),
+            citizens_model,
+        )
+        assert reversed_tree.attributes == ("City", "Street", "District", "State")
+
+    def test_incompatible_sets_raise(self, component_fds, citizens_model):
+        with pytest.raises(TargetJoinError):
+            TargetTree(
+                component_fds,
+                [[("New York", "NY")], [("Boston", "Main", "Financial")]],
+                citizens_model,
+            )
+
+    def test_subtree_value_sets(self, component_fds, example_sets,
+                                citizens_model):
+        """Fig. 4: node (New York, NY) stores its descendants' values."""
+        tree = TargetTree(component_fds, example_sets, citizens_model)
+        ny_node = next(
+            c for c in tree.root.children if c.element == ("New York", "NY")
+        )
+        assert ny_node.subtree_values["Street"] == {"Main", "Western"}
+        assert ny_node.subtree_values["District"] == {"Manhattan", "Queens"}
+
+    def test_incomplete_paths_pruned(self, citizens_model):
+        """Elements that join nothing are dropped from the tree."""
+        fds = parse_fds(["A -> B", "B -> C"])
+        sets = [
+            [("a1", "b1"), ("a2", "bX")],  # bX joins no second-level element
+            [("b1", "c1")],
+        ]
+        tree = TargetTree(fds, sets, citizens_model)
+        assert len(tree.targets()) == 1
+        assert len(tree.root.children) == 1
+
+
+class TestSearch:
+    def test_example14_search(self, citizens, citizens_model, component_fds,
+                              example_sets):
+        """Example 14: t4=(New York, Western, Queens, MA) resolves to
+        (New York, Western, Queens, NY) at cost 1.0 (the State cell)."""
+        tree = TargetTree(component_fds, example_sets, citizens_model)
+        values = citizens.project(3, tree.attributes)
+        target, cost = tree.nearest_target(values)
+        assert target.as_mapping() == {
+            "City": "New York",
+            "State": "NY",
+            "Street": "Western",
+            "District": "Queens",
+        }
+        assert cost == pytest.approx(1.0)
+
+    def test_agrees_with_naive_on_all_citizens(self, citizens, citizens_model,
+                                               component_fds, example_sets):
+        tree = TargetTree(component_fds, example_sets, citizens_model)
+        targets = join_targets(component_fds, example_sets)
+        for tid in citizens.tids():
+            values = citizens.project(tid, tree.attributes)
+            _, tree_cost = tree.nearest_target(values)
+            _, naive_cost = nearest_target_naive(
+                citizens_model, targets, values
+            )
+            assert tree_cost == pytest.approx(naive_cost)
+
+    def test_search_counters_update(self, citizens, citizens_model,
+                                    component_fds, example_sets):
+        tree = TargetTree(component_fds, example_sets, citizens_model)
+        tree.nearest_target(citizens.project(0, tree.attributes))
+        assert tree.searches == 1
+        assert tree.nodes_visited >= 1
+
+    def test_wrong_arity_rejected(self, citizens_model, component_fds,
+                                  example_sets):
+        tree = TargetTree(component_fds, example_sets, citizens_model)
+        with pytest.raises(ValueError):
+            tree.nearest_target(("just", "two"))
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 10_000))
+def test_property_tree_search_equals_naive_scan(seed):
+    """Random overlapping FDs + random sets: tree == naive everywhere."""
+    rng = random.Random(seed)
+    schema = Schema.of("A", "B", "C")
+    values_a = [f"a{i}" for i in range(3)]
+    values_b = [f"b{i}" for i in range(3)]
+    values_c = [f"c{i}" for i in range(3)]
+    rows = [
+        (rng.choice(values_a), rng.choice(values_b), rng.choice(values_c))
+        for _ in range(8)
+    ]
+    relation = Relation(schema, rows)
+    model = DistanceModel(relation)
+    fds = parse_fds(["A -> B", "B -> C"])
+    set_ab = list({(r[0], r[1]) for r in rows})
+    set_bc = list({(r[1], r[2]) for r in rows})
+    try:
+        tree = TargetTree(fds, [set_ab, set_bc], model)
+        targets = join_targets(fds, [set_ab, set_bc])
+    except TargetJoinError:
+        return  # incompatible random draw: nothing to compare
+    for tid in relation.tids():
+        values = relation.project(tid, tree.attributes)
+        _, tree_cost = tree.nearest_target(values)
+        _, naive_cost = nearest_target_naive(model, targets, values)
+        assert tree_cost == pytest.approx(naive_cost)

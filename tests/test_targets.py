@@ -1,0 +1,124 @@
+"""Tests for target joining (Section 4.1)."""
+
+import pytest
+
+from repro.core.constraints import parse_fds
+from repro.core.distances import DistanceModel
+from repro.core.multi.targets import (
+    Target,
+    TargetJoinError,
+    join_targets,
+    nearest_target_naive,
+    target_cost,
+)
+
+
+@pytest.fixture
+def component_fds(citizens_fds):
+    return citizens_fds[1:]  # phi2, phi3
+
+
+class TestJoin:
+    def test_example10_join(self, component_fds):
+        """Joining Example 10's sets yields the four targets."""
+        phi2_set = [("New York", "NY"), ("Boston", "MA")]
+        phi3_set = [
+            ("New York", "Main", "Manhattan"),
+            ("New York", "Western", "Queens"),
+            ("Boston", "Main", "Financial"),
+            ("Boston", "Arlingto", "Brookside"),
+        ]
+        targets = join_targets(component_fds, [phi2_set, phi3_set])
+        as_maps = [t.as_mapping() for t in targets]
+        assert len(targets) == 4
+        assert {
+            "City": "New York",
+            "State": "NY",
+            "Street": "Main",
+            "District": "Manhattan",
+        } in as_maps
+        assert {
+            "City": "Boston",
+            "State": "MA",
+            "Street": "Arlingto",
+            "District": "Brookside",
+        } in as_maps
+
+    def test_incompatible_sets_raise(self, component_fds):
+        with pytest.raises(TargetJoinError):
+            join_targets(
+                component_fds,
+                [[("New York", "NY")], [("Boston", "Main", "Financial")]],
+            )
+
+    def test_empty_set_raises(self, component_fds):
+        with pytest.raises(TargetJoinError):
+            join_targets(component_fds, [[], [("Boston", "Main", "Financial")]])
+
+    def test_arity_mismatch_rejected(self, component_fds):
+        with pytest.raises(ValueError):
+            join_targets(component_fds, [[("New York", "NY")]])
+
+    def test_disjoint_fds_full_product(self):
+        fds = parse_fds(["A -> B", "X -> Y"])
+        targets = join_targets(
+            fds, [[("a1", "b1"), ("a2", "b2")], [("x1", "y1")]]
+        )
+        assert len(targets) == 2
+
+    def test_target_value_accessors(self, component_fds):
+        targets = join_targets(
+            component_fds,
+            [[("Boston", "MA")], [("Boston", "Main", "Financial")]],
+        )
+        target = targets[0]
+        assert target.value_of("District") == "Financial"
+        assert target.as_mapping()["State"] == "MA"
+
+
+class TestNearestNaive:
+    def test_example3_t5_repair(self, citizens, citizens_model, component_fds):
+        """t5 (Zoe) is nearest to (New York, Main, Manhattan, NY)."""
+        targets = join_targets(
+            component_fds,
+            [
+                [("New York", "NY"), ("Boston", "MA")],
+                [
+                    ("New York", "Main", "Manhattan"),
+                    ("New York", "Western", "Queens"),
+                    ("Boston", "Main", "Financial"),
+                    ("Boston", "Arlingto", "Brookside"),
+                ],
+            ],
+        )
+        attrs = targets[0].attributes
+        t5 = citizens.project(4, attrs)
+        best, cost = nearest_target_naive(citizens_model, targets, t5)
+        assert best.as_mapping()["City"] == "New York"
+        assert best.as_mapping()["District"] == "Manhattan"
+        # only the City cell changes: cost = ned(Boston, New York)
+        assert cost == pytest.approx(
+            citizens_model.attribute_distance("City", "Boston", "New York")
+        )
+
+    def test_zero_cost_for_exact_match(self, citizens, citizens_model,
+                                       component_fds):
+        targets = join_targets(
+            component_fds,
+            [[("Boston", "MA")], [("Boston", "Main", "Financial")]],
+        )
+        values = targets[0].values
+        _, cost = nearest_target_naive(citizens_model, targets, values)
+        assert cost == 0.0
+
+    def test_empty_target_list_raises(self, citizens_model):
+        with pytest.raises(TargetJoinError):
+            nearest_target_naive(citizens_model, [], ("x",))
+
+    def test_target_cost_is_unweighted_sum(self, citizens_model):
+        target = Target(("City", "State"), ("Boston", "MA"))
+        cost = target_cost(citizens_model, target, ("Boton", "NY"))
+        expected = citizens_model.attribute_distance(
+            "City", "Boton", "Boston"
+        ) + citizens_model.attribute_distance("State", "NY", "MA")
+        assert cost == pytest.approx(expected)

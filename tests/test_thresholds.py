@@ -1,0 +1,105 @@
+"""Tests for the tau-selection gap heuristic (Section 2.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.distances import DistanceModel
+from repro.core.thresholds import (
+    pairwise_distance_sample,
+    suggest_threshold,
+    suggest_threshold_for_fd,
+    suggest_thresholds,
+)
+
+
+class TestSuggestThreshold:
+    def test_largest_gap_wins(self):
+        assert suggest_threshold([0.05, 0.08, 0.1, 0.62, 0.7]) == 0.1
+
+    def test_zeros_ignored(self):
+        assert suggest_threshold([0.0, 0.0, 0.1, 0.9]) == 0.1
+
+    def test_empty_returns_floor(self):
+        assert suggest_threshold([], floor=0.2) == 0.2
+
+    def test_single_distance(self):
+        assert suggest_threshold([0.3]) == 0.3
+
+    def test_floor_applies(self):
+        assert suggest_threshold([0.05, 0.06, 0.9], floor=0.5) == 0.5
+
+    def test_ceiling_discards_high_values(self):
+        # without ceiling the gap is between 0.1 and 0.9
+        assert suggest_threshold([0.05, 0.1, 0.9]) == 0.1
+        # with ceiling 0.5, only 0.05 and 0.1 remain; gap at 0.05
+        assert suggest_threshold([0.05, 0.1, 0.9], ceiling=0.5) == 0.05
+
+    def test_ceiling_above_everything_returns_floor(self):
+        # All distances above the ceiling: nothing to separate.
+        assert suggest_threshold([0.3, 0.9], ceiling=0.2) == 0.0
+
+    def test_duplicate_distances_collapse(self):
+        assert suggest_threshold([0.1, 0.1, 0.1, 0.8]) == 0.1
+
+    @given(st.lists(st.floats(0.001, 1.0), min_size=1, max_size=50))
+    def test_result_is_one_of_the_inputs_or_floor(self, distances):
+        tau = suggest_threshold(distances)
+        assert tau == 0.0 or any(abs(tau - d) < 1e-12 for d in distances)
+
+    @given(
+        st.lists(st.floats(0.001, 1.0), min_size=2, max_size=50),
+        st.floats(0.0, 1.0),
+    )
+    def test_floor_respected(self, distances, floor):
+        assert suggest_threshold(distances, floor=floor) >= floor
+
+
+class TestOnRelations:
+    def test_sample_size_small_instance(self, citizens, citizens_model, citizens_fds):
+        sample = pairwise_distance_sample(
+            citizens, citizens_fds[0], citizens_model
+        )
+        # 7 patterns -> 21 pairs
+        assert len(sample) == 21
+
+    def test_sample_capped(self, citizens, citizens_model, citizens_fds):
+        sample = pairwise_distance_sample(
+            citizens, citizens_fds[0], citizens_model, max_pairs=5, rng=1
+        )
+        assert len(sample) == 5
+
+    def test_sampling_is_deterministic(self, citizens, citizens_model, citizens_fds):
+        a = pairwise_distance_sample(
+            citizens, citizens_fds[0], citizens_model, max_pairs=5, rng=42
+        )
+        b = pairwise_distance_sample(
+            citizens, citizens_fds[0], citizens_model, max_pairs=5, rng=42
+        )
+        assert a == b
+
+    def test_suggest_for_fd_returns_positive(self, citizens, citizens_model,
+                                             citizens_fds):
+        tau = suggest_threshold_for_fd(citizens, citizens_fds[0], citizens_model)
+        assert tau > 0
+
+    def test_suggest_thresholds_covers_all_fds(self, citizens, citizens_model,
+                                               citizens_fds):
+        taus = suggest_thresholds(citizens, citizens_fds, citizens_model)
+        assert set(taus) == set(citizens_fds)
+
+    def test_gap_heuristic_finds_separable_band_on_hosp(self, small_hosp_workload):
+        """On generated data, the heuristic lands between the typo
+        cluster and the clean-pair separation for every FD."""
+        dirty = small_hosp_workload["dirty"]
+        model = DistanceModel(dirty)
+        typo_bound = 0.5 * 1 / 7  # one weighted single-edit typo
+        for fd in small_hosp_workload["fds"][:6]:  # string-only FDs
+            tau = suggest_threshold_for_fd(dirty, fd, model, rng=3)
+            # tau must at least cover single-edit typos (the densest
+            # error cluster)...
+            assert tau >= typo_bound - 1e-9, fd.name
+            # ...and stay below the clean-pair separation (the analytic
+            # threshold already has the safety margin subtracted; add it
+            # back to recover the separation bound).
+            analytic = small_hosp_workload["thresholds"][fd]
+            assert tau <= analytic + 0.031, fd.name

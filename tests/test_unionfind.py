@@ -1,0 +1,99 @@
+"""Unit tests for the disjoint-set forest."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_new_items_are_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.union("a", "b") is False
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_find_creates_lazily(self):
+        uf = UnionFind()
+        assert uf.find("fresh") == "fresh"
+        assert "fresh" in uf
+
+    def test_groups_partition_everything(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = uf.groups()
+        flattened = sorted(item for group in groups for item in group)
+        assert flattened == list(range(6))
+        assert len(groups) == 4
+
+    def test_len_counts_items(self):
+        uf = UnionFind("abc")
+        assert len(uf) == 3
+
+    def test_contains(self):
+        uf = UnionFind(["x"])
+        assert "x" in uf
+        assert "y" not in uf
+
+    def test_separate_components_stay_separate(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert not uf.connected(1, 3)
+
+    def test_hashable_items_of_mixed_types(self):
+        uf = UnionFind()
+        uf.union(("t", 1), ("t", 2))
+        assert uf.connected(("t", 1), ("t", 2))
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20))))
+    def test_find_is_consistent_representative(self, pairs):
+        uf = UnionFind()
+        for a, b in pairs:
+            uf.union(a, b)
+        for a, b in pairs:
+            assert uf.find(a) == uf.find(b)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15))))
+    def test_groups_are_disjoint(self, pairs):
+        uf = UnionFind()
+        for a, b in pairs:
+            uf.union(a, b)
+        seen = set()
+        for group in uf.groups():
+            for item in group:
+                assert item not in seen
+                seen.add(item)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12))),
+        st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12))),
+    )
+    def test_union_order_does_not_matter(self, first, second):
+        left = UnionFind()
+        for a, b in first + second:
+            left.union(a, b)
+        right = UnionFind()
+        for a, b in second + first:
+            right.union(a, b)
+        items = {x for pair in first + second for x in pair}
+        for a in items:
+            for b in items:
+                assert left.connected(a, b) == right.connected(a, b)

@@ -1,0 +1,58 @@
+"""Tests for the small utility modules (timing, rng)."""
+
+import random
+import time
+
+import pytest
+
+from repro.utils.rng import make_rng, shuffled
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("step"):
+            time.sleep(0.01)
+        with watch.measure("step"):
+            time.sleep(0.01)
+        assert watch.total("step") >= 0.02
+
+    def test_separate_names(self):
+        watch = Stopwatch()
+        watch.add("a", 1.0)
+        watch.add("b", 2.0)
+        assert watch.total("a") == 1.0
+        assert watch.total() == 3.0
+
+    def test_unknown_name_is_zero(self):
+        assert Stopwatch().total("nothing") == 0.0
+
+    def test_exception_still_records(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.measure("boom"):
+                raise RuntimeError
+        assert "boom" in watch.totals
+
+
+class TestRng:
+    def test_none_gives_fixed_default(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+    def test_int_seed(self):
+        assert make_rng(5).random() == make_rng(5).random()
+        assert make_rng(5).random() != make_rng(6).random()
+
+    def test_random_instance_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_shuffled_does_not_mutate(self):
+        items = [1, 2, 3, 4, 5]
+        out = shuffled(items, rng=3)
+        assert items == [1, 2, 3, 4, 5]
+        assert sorted(out) == items
+
+    def test_shuffled_deterministic(self):
+        assert shuffled(range(10), rng=2) == shuffled(range(10), rng=2)

@@ -1,0 +1,91 @@
+"""Tests for controlled-separation vocabularies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distances import levenshtein
+from repro.generator.vocab import (
+    build_vocabulary,
+    numeric_domain,
+    vocabulary_separation,
+)
+
+
+class TestBuildVocabulary:
+    def test_count_and_prefix(self):
+        words = build_vocabulary("ct", 10, rng=1)
+        assert len(words) == 10
+        assert all(w.startswith("ct") for w in words)
+
+    def test_all_words_distinct(self):
+        words = build_vocabulary("ct", 30, rng=2)
+        assert len(set(words)) == 30
+
+    def test_pairwise_separation_guarantee(self):
+        words = build_vocabulary("zz", 25, suffix_length=5, min_edits=3, rng=3)
+        for i, a in enumerate(words):
+            for b in words[i + 1 :]:
+                dist = levenshtein(a, b)
+                assert 3 <= dist <= 5
+
+    def test_deterministic_for_seed(self):
+        assert build_vocabulary("ab", 8, rng=42) == build_vocabulary(
+            "ab", 8, rng=42
+        )
+
+    def test_different_seeds_differ(self):
+        assert build_vocabulary("ab", 8, rng=1) != build_vocabulary(
+            "ab", 8, rng=2
+        )
+
+    def test_min_edits_exceeding_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            build_vocabulary("ab", 5, suffix_length=3, min_edits=4)
+
+    def test_impossible_request_raises(self):
+        # suffix length 1 with min_edits 1 over a 20-letter alphabet can
+        # host at most 20 words
+        with pytest.raises(RuntimeError):
+            build_vocabulary(
+                "x", 50, suffix_length=1, min_edits=1, rng=0,
+                max_attempts=2000,
+            )
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_separation_property(self, seed):
+        words = build_vocabulary("pq", 6, rng=seed)
+        lo, hi = vocabulary_separation(words)
+        assert lo >= 3 / 7 - 1e-9
+        assert hi <= 5 / 7 + 1e-9
+
+
+class TestVocabularySeparation:
+    def test_short_lists(self):
+        assert vocabulary_separation([]) == (0.0, 0.0)
+        assert vocabulary_separation(["one"]) == (0.0, 0.0)
+
+    def test_known_pair(self):
+        lo, hi = vocabulary_separation(["abc", "abd"])
+        assert lo == hi == pytest.approx(1 / 3)
+
+
+class TestNumericDomain:
+    def test_count_and_bounds(self):
+        values = numeric_domain(10, 0.0, 100.0, rng=1)
+        assert len(values) == 10
+        assert all(-25.0 <= v <= 125.0 for v in values)
+
+    def test_distinct(self):
+        values = numeric_domain(50, 0.0, 10.0, rng=2)
+        assert len(set(values)) == 50
+
+    def test_single_value(self):
+        assert numeric_domain(1, 0.0, 10.0) == [5.0]
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            numeric_domain(0, 0.0, 1.0)
+
+    def test_deterministic(self):
+        assert numeric_domain(5, 0, 9, rng=7) == numeric_domain(5, 0, 9, rng=7)

@@ -13,7 +13,12 @@ including t5's City, which classic equality-based repair gets wrong
 cannot even see (Example 3).
 
 Run: python examples/quickstart.py
+
+Set REPRO_N_JOBS to repair with worker processes (the result is
+byte-identical at any worker count; see docs/parallelism.md).
 """
+
+import os
 
 from repro import Repairer
 from repro.dataset import (
@@ -31,7 +36,10 @@ def main() -> None:
     print()
 
     repairer = Repairer(
-        CITIZENS_FDS, algorithm="greedy-m", thresholds=CITIZENS_THRESHOLDS
+        CITIZENS_FDS,
+        algorithm="greedy-m",
+        thresholds=CITIZENS_THRESHOLDS,
+        n_jobs=int(os.environ.get("REPRO_N_JOBS", "1")),
     )
     result = repairer.repair(dirty)
 

@@ -39,14 +39,24 @@ from repro.core import (
 from repro.core.incremental import IncrementalRepairer
 from repro.dataset import Attribute, Relation, Schema, read_csv, write_csv
 from repro.discovery import discover_fds
+from repro.exec import (
+    DegradedRepairWarning,
+    ExecutionStats,
+    RepairConfig,
+    RepairExecutor,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FD",
     "CFD",
     "parse_fds",
     "Repairer",
+    "RepairConfig",
+    "RepairExecutor",
+    "ExecutionStats",
+    "DegradedRepairWarning",
     "CFDRepairer",
     "IncrementalRepairer",
     "discover_fds",

@@ -23,6 +23,7 @@ from repro.core.constraints import FD
 from repro.core.engine import ALGORITHMS, Repairer
 from repro.core.distances import Weights
 from repro.dataset.csvio import read_csv, write_csv
+from repro.exec import RepairConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +76,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat COLUMN as numeric (Euclidean distance); repeatable",
     )
     parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the component-sharded executor; "
+            "-1 = one per CPU (default 1 = serial; output is identical "
+            "for every value)"
+        ),
+    )
+    parser.add_argument(
+        "--component-budget",
+        type=int,
+        default=None,
+        metavar="PATTERNS",
+        help=(
+            "degrade exact algorithms to their greedy counterpart on "
+            "components with more than PATTERNS violation-graph patterns"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-component execution statistics",
+    )
+    parser.add_argument(
         "--report",
         action="store_true",
         help="print every cell edit",
@@ -105,13 +132,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    repairer = Repairer(
-        fds,
-        algorithm=args.algorithm,
-        weights=Weights(args.lhs_weight, round(1.0 - args.lhs_weight, 12)),
-        thresholds=args.tau,
-        fallback="greedy",
-    )
+    try:
+        config = RepairConfig(
+            algorithm=args.algorithm,
+            weights=Weights(
+                args.lhs_weight, round(1.0 - args.lhs_weight, 12)
+            ),
+            thresholds=args.tau,
+            fallback="greedy",
+            n_jobs=args.n_jobs,
+            component_budget=args.component_budget,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    repairer = Repairer(fds, config=config)
     try:
         thresholds = repairer.resolve_thresholds(relation)
     except KeyError as exc:
@@ -126,6 +160,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     result = repairer.repair(relation)
     seconds = time.perf_counter() - start
     print(f"{result.summary()} in {seconds:.2f}s")
+
+    if args.stats:
+        describe = getattr(result.stats, "describe", None)
+        if describe is not None:
+            print(f"execution: {describe()}")
+        for phase, secs in sorted(result.timings.items()):
+            print(f"  {phase}: {secs:.3f}s")
+        for comp in result.stats.get("components", ()):
+            flag = " [degraded]" if comp.get("degraded") else ""
+            print(
+                f"  component {comp['index']}: "
+                f"{', '.join(comp['fds'])} via {comp['algorithm']} "
+                f"({comp['patterns']} pattern(s), "
+                f"{comp['seconds']:.3f}s){flag}"
+            )
 
     if args.report:
         for edit in result.edits:

@@ -33,6 +33,12 @@ class DetectionReport:
     #: probable error carriers (when a frequent and a rare pattern
     #: collide, the rare one is almost always the corruption)
     likely_errors: Dict[str, Set[int]] = field(default_factory=dict)
+    #: execution statistics (per-FD seconds, cache and filter counters)
+    #: when produced through the engine / executor; empty otherwise.
+    #: Same surface as ``RepairResult.stats``.
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: phase name -> wall seconds, mirroring ``RepairResult.timings``
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_violations(self) -> int:
@@ -89,6 +95,30 @@ class DetectionReport:
         return "\n".join(lines)
 
 
+def classify_violations(
+    pairs: Sequence[FTViolation],
+) -> Tuple[Set[int], Set[int]]:
+    """(suspect tids, minority-side tids) of one FD's violation pairs.
+
+    The minority side of a violating pair — the rarer pattern — is
+    almost always the corruption when a frequent and a rare pattern
+    collide; ties implicate both sides.
+    """
+    tids: Set[int] = set()
+    minority: Set[int] = set()
+    for violation in pairs:
+        tids.update(violation.left.tids)
+        tids.update(violation.right.tids)
+        if violation.left.multiplicity == violation.right.multiplicity:
+            minority.update(violation.left.tids)
+            minority.update(violation.right.tids)
+        elif violation.left.multiplicity < violation.right.multiplicity:
+            minority.update(violation.left.tids)
+        else:
+            minority.update(violation.right.tids)
+    return tids, minority
+
+
 def detect(
     relation: Relation,
     fds: Sequence[FD],
@@ -103,20 +133,7 @@ def detect(
         patterns = group_patterns(relation, fd)
         pairs = ft_violation_pairs(patterns, fd, model, thresholds[fd])
         violations[fd.name] = pairs
-        tids: Set[int] = set()
-        minority: Set[int] = set()
-        for violation in pairs:
-            tids.update(violation.left.tids)
-            tids.update(violation.right.tids)
-            if violation.left.multiplicity == violation.right.multiplicity:
-                minority.update(violation.left.tids)
-                minority.update(violation.right.tids)
-            elif violation.left.multiplicity < violation.right.multiplicity:
-                minority.update(violation.left.tids)
-            else:
-                minority.update(violation.right.tids)
-        suspects[fd.name] = tids
-        likely[fd.name] = minority
+        suspects[fd.name], likely[fd.name] = classify_violations(pairs)
     return DetectionReport(
         relation_size=len(relation),
         thresholds={fd.name: thresholds[fd] for fd in fds},

@@ -25,7 +25,7 @@ many times during graph construction and repair search).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, MutableMapping, Optional, Sequence, Tuple, Union
 
 from repro.dataset.relation import NUMERIC, Relation, Schema
 
@@ -194,8 +194,15 @@ class DistanceModel:
         ``{"Name": jaccard_distance}``. Overrides receive the two raw
         values and must return a normalized distance in [0, 1].
     cache:
-        Memoize per-attribute value-pair distances. On by default; turn
-        off only for memory-constrained streaming use.
+        Memoize per-attribute value-pair distances. ``True`` (default)
+        uses a private dictionary, ``False`` disables memoization, and a
+        mutable mapping plugs in an external store — e.g. the
+        worker-persistent cache of :mod:`repro.exec.cache`, which keeps
+        distances warm across repairs within one process.
+
+    The model counts its memo traffic: :attr:`cache_hits` /
+    :attr:`cache_misses` (see :meth:`cache_info`) feed the execution
+    statistics of :class:`repro.exec.RepairExecutor`.
     """
 
     def __init__(
@@ -203,7 +210,7 @@ class DistanceModel:
         relation: Relation,
         weights: Weights = Weights(),
         overrides: Optional[Dict[str, DistanceFn]] = None,
-        cache: bool = True,
+        cache: "Union[bool, MutableMapping]" = True,
     ) -> None:
         self.schema: Schema = relation.schema
         self.weights = weights
@@ -216,9 +223,12 @@ class DistanceModel:
             for attr in self.schema
             if attr.kind == NUMERIC
         }
-        self._cache: Optional[Dict[Tuple[str, Any, Any], float]] = (
-            {} if cache else None
-        )
+        if isinstance(cache, bool):
+            self._cache: Optional[MutableMapping] = {} if cache else None
+        else:
+            self._cache = cache
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @classmethod
     def from_parts(
@@ -262,7 +272,9 @@ class DistanceModel:
             if hit is None:
                 hit = self._cache.get((attribute, v2, v1))
             if hit is not None:
+                self.cache_hits += 1
                 return hit
+            self.cache_misses += 1
         override = self._overrides.get(attribute)
         if override is not None:
             value = float(override(v1, v2))
@@ -321,3 +333,13 @@ class DistanceModel:
     def cache_size(self) -> int:
         """Number of memoized value pairs (0 when caching is off)."""
         return len(self._cache) if self._cache is not None else 0
+
+    def cache_info(self) -> Dict[str, float]:
+        """Memo traffic of this model: hits, misses, size, hit rate."""
+        probes = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": self.cache_size(),
+            "hit_rate": self.cache_hits / probes if probes else 0.0,
+        }

@@ -1,8 +1,9 @@
 """The repair engine: one facade over every algorithm in the paper.
 
 :class:`Repairer` wires together threshold selection, the FD graph
-decomposition (Theorem 5), per-component algorithm dispatch, and repair
-merging:
+decomposition (Theorem 5), the component-sharded
+:class:`~repro.exec.RepairExecutor` (per-component algorithm dispatch,
+optional worker-process parallelism), and repair merging:
 
 * ``exact-s`` / ``greedy-s`` — Section 3 single-FD algorithms; on a
   multi-FD component they are applied *sequentially and independently*
@@ -11,31 +12,36 @@ merging:
 * ``exact-m`` / ``appro-m`` / ``greedy-m`` — Section 4 joint algorithms,
   run once per connected FD-graph component.
 
-Typical use::
+Configuration lives in a frozen :class:`~repro.exec.RepairConfig`;
+keyword overrides are applied on top of it. Typical use::
 
-    from repro import FD, Repairer
+    from repro import FD, RepairConfig, Repairer
     fds = [FD.parse("City -> State"), FD.parse("City, Street -> District")]
+
     result = Repairer(fds, algorithm="greedy-m").repair(relation)
+
+    # equivalently, with an explicit (shareable, immutable) config:
+    config = RepairConfig(algorithm="greedy-m", n_jobs=4)
+    result = Repairer(fds, config=config).repair(relation)
     clean = result.relation
+
+The executor guarantees byte-identical output for every ``n_jobs``
+value (see ``docs/parallelism.md``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+import warnings
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.constraints import FD, validate_constraints
 from repro.core.distances import DistanceModel, Weights
-from repro.core.multi.appro import repair_multi_fd_appro
-from repro.core.multi.exact import CombinationLimitError, repair_multi_fd_exact
-from repro.core.multi.fdgraph import fd_components
-from repro.core.multi.greedy import repair_multi_fd_greedy
-from repro.core.repair import RepairResult, merge_results
-from repro.core.single.exact import repair_single_fd_exact
-from repro.core.single.greedy import repair_single_fd_greedy
-from repro.core.single.mis import ExpansionLimitError
+from repro.core.repair import RepairResult, squash_edits
 from repro.core.thresholds import suggest_thresholds
 from repro.dataset.relation import Relation
+from repro.exec.config import RepairConfig
 from repro.utils.rng import SeedLike
+from repro.utils.timing import Stopwatch
 
 #: name -> (paper section, description); the library's Table 2.
 ALGORITHMS: Dict[str, Dict[str, str]] = {
@@ -68,14 +74,46 @@ ALGORITHMS: Dict[str, Dict[str, str]] = {
 
 ThresholdsLike = Union[None, float, Mapping[FD, float]]
 
+#: the pre-RepairConfig positional parameter order, oldest API first
+_LEGACY_POSITIONAL: Tuple[str, ...] = (
+    "algorithm",
+    "weights",
+    "thresholds",
+    "use_tree",
+    "join_strategy",
+    "fallback",
+    "max_nodes",
+    "max_combinations",
+    "distance_overrides",
+    "threshold_ceiling",
+    "rng",
+)
+
+# Kept under its historic name for callers of the private helper.
+_squash_edits = squash_edits
+
 
 class Repairer:
     """End-to-end fault-tolerant repair of a relation against FDs.
+
+    The canonical constructor takes the FDs plus a frozen
+    :class:`~repro.exec.RepairConfig` and/or keyword-only overrides::
+
+        Repairer(fds, config=RepairConfig(algorithm="exact-m"))
+        Repairer(fds, algorithm="exact-m", n_jobs=4)
+        Repairer(fds, config=base_config, thresholds=0.4)   # override one field
+
+    Positional arguments beyond *fds* follow the pre-1.1 signature and
+    still work, but emit a :class:`DeprecationWarning` (as does the old
+    ``rng=`` spelling of ``seed``).
 
     Parameters
     ----------
     fds:
         The functional dependencies to enforce.
+    config:
+        A :class:`~repro.exec.RepairConfig`; defaults to
+        ``RepairConfig()``. Keyword overrides below are applied on top.
     algorithm:
         One of :data:`ALGORITHMS`. Default ``"greedy-m"`` — the paper's
         best quality/speed trade-off.
@@ -94,82 +132,170 @@ class Repairer:
         :class:`repro.index.simjoin.SimilarityJoin`).
     fallback:
         For exact algorithms only: ``"error"`` propagates budget
-        overruns, ``"greedy"`` silently degrades to the corresponding
-        greedy algorithm (recorded in ``result.stats``).
+        overruns, ``"greedy"`` degrades to the corresponding greedy
+        algorithm — loudly: a
+        :class:`~repro.exec.DegradedRepairWarning` is emitted and the
+        component recorded in ``result.stats.degraded_components``.
     max_nodes / max_combinations:
         Budgets for the exact expansions.
     distance_overrides:
         Per-attribute distance functions forwarded to
         :class:`~repro.core.distances.DistanceModel`.
-    rng:
-        Seed for threshold sampling.
+    n_jobs:
+        Worker processes for the component-sharded executor. ``1``
+        (default) = deterministic serial execution in-process; ``-1`` =
+        one worker per CPU. Output is byte-identical for every value.
+    component_budget:
+        Violation-graph node budget per component: an exact algorithm
+        is pre-emptively degraded to its greedy counterpart on any
+        component larger than this (``None`` = never).
+    seed:
+        Seed for threshold sampling (previously ``rng``).
     """
 
     def __init__(
         self,
         fds: Sequence[FD],
-        algorithm: str = "greedy-m",
-        weights: Weights = Weights(),
-        thresholds: ThresholdsLike = None,
-        use_tree: bool = True,
-        join_strategy: str = "filtered",
-        fallback: str = "error",
-        max_nodes: Optional[int] = 200_000,
-        max_combinations: int = 1_000_000,
-        distance_overrides: Optional[Dict[str, object]] = None,
-        threshold_ceiling: object = "median",
-        rng: SeedLike = None,
+        *legacy_args: object,
+        config: Optional[RepairConfig] = None,
+        **overrides: object,
     ) -> None:
-        if algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; expected one of "
-                f"{sorted(ALGORITHMS)}"
-            )
-        if fallback not in ("error", "greedy"):
-            raise ValueError("fallback must be 'error' or 'greedy'")
         if not fds:
             raise ValueError("at least one FD is required")
+        if legacy_args:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=RepairConfig(...) or positional "
+                    "arguments, not both"
+                )
+            if len(legacy_args) > len(_LEGACY_POSITIONAL):
+                raise TypeError(
+                    f"Repairer takes at most {len(_LEGACY_POSITIONAL)} "
+                    f"positional arguments beyond fds "
+                    f"({len(legacy_args)} given)"
+                )
+            warnings.warn(
+                "positional Repairer arguments beyond `fds` are deprecated; "
+                "pass config=RepairConfig(...) or keyword overrides "
+                "(e.g. Repairer(fds, algorithm='exact-m'))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            for name, value in zip(_LEGACY_POSITIONAL, legacy_args):
+                if name in overrides:
+                    raise TypeError(
+                        f"Repairer got multiple values for argument {name!r}"
+                    )
+                overrides[name] = value
+        if "rng" in overrides:
+            if "seed" in overrides:
+                raise TypeError(
+                    "pass seed=... (rng= is its deprecated alias), not both"
+                )
+            if not legacy_args:  # positional use already warned once
+                warnings.warn(
+                    "Repairer(rng=...) is deprecated; use seed=...",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            overrides["seed"] = overrides.pop("rng")
+        base = config if config is not None else RepairConfig()
+        self.config: RepairConfig = base.merged(**overrides)
         self.fds: List[FD] = list(fds)
-        self.algorithm = algorithm
-        self.weights = weights
-        self._thresholds_spec = thresholds
-        self.use_tree = use_tree
-        self.join_strategy = join_strategy
-        self.fallback = fallback
-        self.max_nodes = max_nodes
-        self.max_combinations = max_combinations
-        self._distance_overrides = distance_overrides
-        self._threshold_ceiling = threshold_ceiling
-        self._rng = rng
+
+    # -- config passthrough (the pre-1.1 attribute surface) -------------
+    @property
+    def algorithm(self) -> str:
+        return self.config.algorithm
+
+    @property
+    def weights(self) -> Weights:
+        return self.config.weights
+
+    @property
+    def use_tree(self) -> bool:
+        return self.config.use_tree
+
+    @property
+    def join_strategy(self) -> str:
+        return self.config.join_strategy
+
+    @property
+    def fallback(self) -> str:
+        return self.config.fallback
+
+    @property
+    def max_nodes(self) -> Optional[int]:
+        return self.config.max_nodes
+
+    @property
+    def max_combinations(self) -> int:
+        return self.config.max_combinations
+
+    @property
+    def n_jobs(self) -> int:
+        return self.config.n_jobs
+
+    @property
+    def component_budget(self) -> Optional[int]:
+        return self.config.component_budget
+
+    @property
+    def seed(self) -> SeedLike:
+        return self.config.seed
+
+    @property
+    def _thresholds_spec(self) -> ThresholdsLike:
+        return self.config.thresholds
+
+    @property
+    def _distance_overrides(self):
+        return self.config.distance_overrides
+
+    @property
+    def _threshold_ceiling(self) -> object:
+        return self.config.threshold_ceiling
+
+    @property
+    def _rng(self) -> SeedLike:
+        return self.config.seed
 
     # ------------------------------------------------------------------
     def build_model(self, relation: Relation) -> DistanceModel:
         """The distance model this repairer would use on *relation*."""
         return DistanceModel(
-            relation, weights=self.weights, overrides=self._distance_overrides
+            relation,
+            weights=self.config.weights,
+            overrides=self.config.distance_overrides,
         )
 
     def resolve_thresholds(
         self, relation: Relation, model: Optional[DistanceModel] = None
     ) -> Dict[FD, float]:
         """Materialize the per-FD tau mapping for *relation*."""
-        if isinstance(self._thresholds_spec, Mapping):
-            missing = [fd for fd in self.fds if fd not in self._thresholds_spec]
+        spec = self.config.thresholds
+        if isinstance(spec, Mapping):
+            missing = [fd for fd in self.fds if fd not in spec]
             if missing:
                 raise KeyError(
                     f"no threshold for FD(s): {[fd.name for fd in missing]}"
                 )
-            return {fd: float(self._thresholds_spec[fd]) for fd in self.fds}
-        if isinstance(self._thresholds_spec, (int, float)):
-            return {fd: float(self._thresholds_spec) for fd in self.fds}
+            return {fd: float(spec[fd]) for fd in self.fds}
+        if isinstance(spec, (int, float)):
+            return {fd: float(spec) for fd in self.fds}
         model = model or self.build_model(relation)
         return suggest_thresholds(
             relation,
             self.fds,
             model,
-            ceiling=self._threshold_ceiling,
-            rng=self._rng,
+            ceiling=self.config.threshold_ceiling,
+            rng=self.config.seed,
         )
+
+    def _executor(self):
+        from repro.exec.executor import RepairExecutor
+
+        return RepairExecutor(self.config)
 
     # ------------------------------------------------------------------
     def detect(self, relation: Relation):
@@ -178,145 +304,54 @@ class Repairer:
         Returns a :class:`repro.core.detection.DetectionReport`; nothing
         is modified. Useful to review suspects before committing to an
         automatic repair, or to gate a pipeline on ``report.is_clean()``.
+        Like :meth:`repair`, the report carries ``.stats``
+        (:class:`~repro.exec.ExecutionStats`: per-FD seconds, cache and
+        filter counters) and ``.timings``; detection shards one task per
+        FD under ``n_jobs``.
         """
-        from repro.core.detection import detect as _detect
-
         validate_constraints(self.fds, relation.schema)
-        model = self.build_model(relation)
-        thresholds = self.resolve_thresholds(relation, model)
-        return _detect(relation, self.fds, model, thresholds)
+        watch = Stopwatch()
+        with watch.measure("model"):
+            model = self.build_model(relation)
+        with watch.measure("thresholds"):
+            thresholds = self.resolve_thresholds(relation, model)
+        report = self._executor().detect(relation, self.fds, thresholds)
+        report.timings.update(watch.totals)
+        return report
 
     # ------------------------------------------------------------------
     def repair(self, relation: Relation) -> RepairResult:
         """Repair *relation*; the input is never mutated."""
         validate_constraints(self.fds, relation.schema)
-        model = self.build_model(relation)
-        thresholds = self.resolve_thresholds(relation, model)
-        parts: List[RepairResult] = []
-        for component in fd_components(self.fds):
-            parts.append(
-                self._repair_component(relation, component, model, thresholds)
-            )
-        merged = merge_results(relation, parts)
-        merged.stats["algorithm"] = self.algorithm
-        merged.stats["thresholds"] = {fd.name: thresholds[fd] for fd in self.fds}
-        merged.stats["fd_components"] = len(parts)
-        return merged
+        watch = Stopwatch()
+        with watch.measure("model"):
+            model = self.build_model(relation)
+        with watch.measure("thresholds"):
+            thresholds = self.resolve_thresholds(relation, model)
+        result = self._executor().repair(relation, self.fds, thresholds)
+        result.timings.update(watch.totals)
+        return result
 
-    # ------------------------------------------------------------------
-    def _repair_component(
-        self,
-        relation: Relation,
-        component: List[FD],
-        model: DistanceModel,
-        thresholds: Dict[FD, float],
-    ) -> RepairResult:
-        if self.algorithm in ("exact-s", "greedy-s"):
-            return self._repair_sequential(relation, component, model, thresholds)
-        if self.algorithm == "appro-m":
-            return repair_multi_fd_appro(
-                relation,
-                component,
-                model,
-                thresholds,
-                use_tree=self.use_tree,
-                join_strategy=self.join_strategy,
-            )
-        if self.algorithm == "greedy-m":
-            return repair_multi_fd_greedy(
-                relation,
-                component,
-                model,
-                thresholds,
-                use_tree=self.use_tree,
-                join_strategy=self.join_strategy,
-            )
-        # exact-m
-        try:
-            return repair_multi_fd_exact(
-                relation,
-                component,
-                model,
-                thresholds,
-                use_tree=self.use_tree,
-                max_nodes=self.max_nodes,
-                max_combinations=self.max_combinations,
-                join_strategy=self.join_strategy,
-            )
-        except (ExpansionLimitError, CombinationLimitError):
-            if self.fallback != "greedy":
-                raise
-            result = repair_multi_fd_greedy(
-                relation,
-                component,
-                model,
-                thresholds,
-                use_tree=self.use_tree,
-                join_strategy=self.join_strategy,
-            )
-            result.stats["fallback_from"] = "exact-m"
-            return result
+    def repair_many(
+        self, relations: Sequence[Relation]
+    ) -> List[RepairResult]:
+        """Repair a batch of relations through one shared executor run.
 
-    def _repair_sequential(
-        self,
-        relation: Relation,
-        component: List[FD],
-        model: DistanceModel,
-        thresholds: Dict[FD, float],
-    ) -> RepairResult:
-        """Apply the single-FD algorithm FD by FD on the evolving data."""
-        current = relation
-        edits = []
-        total = 0.0
-        for fd in component:
-            if self.algorithm == "exact-s":
-                try:
-                    step = repair_single_fd_exact(
-                        current,
-                        fd,
-                        model,
-                        thresholds[fd],
-                        max_nodes=self.max_nodes,
-                        join_strategy=self.join_strategy,
-                    )
-                except ExpansionLimitError:
-                    if self.fallback != "greedy":
-                        raise
-                    step = repair_single_fd_greedy(
-                        current, fd, model, thresholds[fd],
-                        join_strategy=self.join_strategy,
-                    )
-                    step.stats["fallback_from"] = "exact-s"
-            else:
-                step = repair_single_fd_greedy(
-                    current, fd, model, thresholds[fd],
-                    join_strategy=self.join_strategy,
+        All components of all relations enter a single task queue, so a
+        batch parallelizes under ``n_jobs`` even when each individual
+        relation has few FD-graph components. Results come back in input
+        order; each is exactly what :meth:`repair` would have produced.
+        """
+        watch = Stopwatch()
+        jobs = []
+        with watch.measure("thresholds"):
+            for relation in relations:
+                validate_constraints(self.fds, relation.schema)
+                model = self.build_model(relation)
+                jobs.append(
+                    (relation, self.fds, self.resolve_thresholds(relation, model))
                 )
-            current = step.relation
-            edits.extend(step.edits)
-            total += step.cost
-        return RepairResult(current, _squash_edits(edits), total, {})
-
-
-def _squash_edits(edits):
-    """Collapse repeated rewrites of the same cell into the final one.
-
-    Sequential per-FD repair can touch a cell twice; the net effect is a
-    single old -> final rewrite (and none at all when the cell returns to
-    its original value).
-    """
-    from repro.core.repair import CellEdit
-
-    first_old: Dict = {}
-    last_new: Dict = {}
-    order: List = []
-    for edit in edits:
-        if edit.cell not in first_old:
-            first_old[edit.cell] = edit.old
-            order.append(edit.cell)
-        last_new[edit.cell] = edit.new
-    return [
-        CellEdit(cell[0], cell[1], first_old[cell], last_new[cell])
-        for cell in order
-        if first_old[cell] != last_new[cell]
-    ]
+        results = self._executor().repair_many(jobs)
+        for result in results:
+            result.timings.setdefault("thresholds", watch.total("thresholds"))
+        return results

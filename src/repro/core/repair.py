@@ -47,13 +47,22 @@ class RepairResult:
         per-attribute distances between the original and repaired values.
     stats:
         Free-form counters from the algorithm (graph sizes, nodes
-        expanded, prunings, timings...). Keys are algorithm-specific.
+        expanded, prunings...). Keys are algorithm-specific. Results
+        produced by the :class:`repro.exec.RepairExecutor` carry an
+        :class:`repro.exec.ExecutionStats` here — a dict subclass, so
+        every existing ``stats["..."]`` consumer keeps working, with
+        typed accessors (``stats.degraded``, ``stats.cache_hit_rate``,
+        ``stats.components``...) on top.
+    timings:
+        Phase name -> wall seconds (``model``, ``thresholds``,
+        ``execute``). Empty for results built outside the engine.
     """
 
     relation: Relation
     edits: List[CellEdit]
     cost: float
     stats: Dict[str, Any] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def edited_cells(self) -> List[Cell]:
@@ -64,10 +73,14 @@ class RepairResult:
         return {edit.cell: edit for edit in self.edits}
 
     def summary(self) -> str:
-        """One-line human summary."""
-        return (
-            f"{len(self.edits)} cell edit(s), repair cost {self.cost:.4f}"
-        )
+        """One-line human summary (execution stats appended when known)."""
+        text = f"{len(self.edits)} cell edit(s), repair cost {self.cost:.4f}"
+        describe = getattr(self.stats, "describe", None)
+        if describe is not None:
+            detail = describe()
+            if detail:
+                text += f" [{detail}]"
+        return text
 
 
 def apply_edits(relation: Relation, edits: Iterable[CellEdit]) -> Relation:
@@ -116,6 +129,28 @@ def edits_from_assignment(
             if old != new:
                 edits.append(CellEdit(tid, attr, old, new))
     return edits
+
+
+def squash_edits(edits: Iterable[CellEdit]) -> List[CellEdit]:
+    """Collapse repeated rewrites of the same cell into the final one.
+
+    Sequential per-FD repair can touch a cell twice; the net effect is a
+    single old -> final rewrite (and none at all when the cell returns to
+    its original value).
+    """
+    first_old: Dict[Cell, Any] = {}
+    last_new: Dict[Cell, Any] = {}
+    order: List[Cell] = []
+    for edit in edits:
+        if edit.cell not in first_old:
+            first_old[edit.cell] = edit.old
+            order.append(edit.cell)
+        last_new[edit.cell] = edit.new
+    return [
+        CellEdit(cell[0], cell[1], first_old[cell], last_new[cell])
+        for cell in order
+        if first_old[cell] != last_new[cell]
+    ]
 
 
 def merge_results(

@@ -56,6 +56,12 @@ class Trial:
     max_nodes: int = 200_000
     max_combinations: int = 200_000
     fallback: str = "greedy"
+    #: worker processes for the component-sharded executor (1 = serial);
+    #: output is byte-identical for every value
+    n_jobs: int = 1
+    #: pre-emptively degrade exact algorithms on components larger than
+    #: this many violation-graph patterns (None = never)
+    component_budget: Optional[int] = None
 
     def workload(self) -> Tuple[Relation, Relation, Dict, List, Dict]:
         """(clean, dirty, truth, fds, thresholds) for this condition.
@@ -91,6 +97,9 @@ class TrialResult:
     seconds: float
     edits: int
     stats: Dict = field(default_factory=dict)
+    #: phase name -> wall seconds (model / thresholds / execute), when
+    #: the system reports them (engine-built repairers do)
+    timings: Dict = field(default_factory=dict)
 
     @property
     def precision(self) -> float:
@@ -119,6 +128,8 @@ def build_system(
             max_nodes=trial.max_nodes,
             max_combinations=trial.max_combinations,
             fallback=trial.fallback,
+            n_jobs=trial.n_jobs,
+            component_budget=trial.component_budget,
         )
     if system in BASELINES:
         return BASELINES[system](fds)
@@ -135,7 +146,13 @@ def run_trial(system: str, trial: Trial) -> TrialResult:
     variables = result.stats.get("variables", set())
     quality = evaluate_repair(result.edits, truth, variables)
     return TrialResult(
-        system, trial, quality, seconds, len(result.edits), dict(result.stats)
+        system,
+        trial,
+        quality,
+        seconds,
+        len(result.edits),
+        dict(result.stats),
+        dict(getattr(result, "timings", {}) or {}),
     )
 
 

@@ -1,0 +1,38 @@
+"""Execution layer: configs, component-sharded parallel execution, stats.
+
+The paper's decomposition theorems make repair embarrassingly parallel;
+this package is where the library exploits that. See
+``docs/parallelism.md`` for the determinism guarantee and the cache
+semantics.
+"""
+
+from repro.exec.cache import (
+    clear_worker_caches,
+    model_fingerprint,
+    shared_model,
+    worker_distance_cache,
+)
+from repro.exec.config import RepairConfig
+from repro.exec.executor import (
+    ComponentOutcome,
+    ComponentTask,
+    RepairExecutor,
+    component_size,
+    repair_component,
+)
+from repro.exec.stats import DegradedRepairWarning, ExecutionStats
+
+__all__ = [
+    "RepairConfig",
+    "RepairExecutor",
+    "ExecutionStats",
+    "DegradedRepairWarning",
+    "ComponentTask",
+    "ComponentOutcome",
+    "component_size",
+    "repair_component",
+    "shared_model",
+    "worker_distance_cache",
+    "model_fingerprint",
+    "clear_worker_caches",
+]

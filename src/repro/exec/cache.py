@@ -1,0 +1,107 @@
+"""Process-safe memoized distance cache.
+
+The q-gram / edit-distance pipeline recomputes the same value-pair
+distances again and again: every FD of a component probes the shared
+:class:`~repro.core.distances.DistanceModel` cache, but that cache dies
+with its model — a new repair, a new worker task, a new process all
+start cold.
+
+This module keeps one cache dictionary alive **per worker process**,
+keyed by a fingerprint of the distance semantics (schema kinds, numeric
+spreads, override functions). Two models with the same fingerprint
+produce identical distances by construction, so sharing their memo is
+sound; a fingerprint change (different relation shape or normalizers)
+gets a fresh dictionary. The registry is bounded so a long-lived worker
+serving many differently-shaped relations cannot grow without limit.
+
+No locks are needed: each worker process owns its dictionaries, and the
+parent process only ever aggregates the hit/miss counters shipped back
+with task results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.distances import DistanceFn, DistanceModel, Weights
+from repro.dataset.relation import NUMERIC, Relation, Schema
+
+#: retained fingerprints per process; oldest evicted beyond this
+MAX_RETAINED_FINGERPRINTS = 8
+
+_caches: "OrderedDict[Tuple, Dict]" = OrderedDict()
+
+
+def model_fingerprint(
+    schema: Schema,
+    spreads: Dict[str, float],
+    overrides: Optional[Dict[str, DistanceFn]] = None,
+) -> Tuple:
+    """A hashable token identifying the distance semantics of a model.
+
+    Weights are deliberately excluded: per-attribute distances (the
+    cached quantity) do not depend on the Eq. (2) weights.
+    """
+    schema_sig = tuple((attr.name, attr.kind) for attr in schema)
+    spread_sig = tuple(sorted(spreads.items()))
+    override_sig = tuple(
+        sorted(
+            (name, getattr(fn, "__qualname__", repr(fn)))
+            for name, fn in (overrides or {}).items()
+        )
+    )
+    return (schema_sig, spread_sig, override_sig)
+
+
+def worker_distance_cache(fingerprint: Tuple) -> Dict:
+    """The process-local memo dictionary for *fingerprint*.
+
+    Subsequent calls with the same fingerprint return the same (warm)
+    dictionary; unseen fingerprints allocate one, evicting the least
+    recently used beyond :data:`MAX_RETAINED_FINGERPRINTS`.
+    """
+    cache = _caches.get(fingerprint)
+    if cache is None:
+        cache = {}
+        _caches[fingerprint] = cache
+    else:
+        _caches.move_to_end(fingerprint)
+    while len(_caches) > MAX_RETAINED_FINGERPRINTS:
+        _caches.popitem(last=False)
+    return cache
+
+
+def clear_worker_caches() -> None:
+    """Drop every retained cache (tests, memory pressure)."""
+    _caches.clear()
+
+
+def shared_model(
+    relation: Relation,
+    weights: Weights = Weights(),
+    overrides: Optional[Dict[str, DistanceFn]] = None,
+) -> DistanceModel:
+    """A :class:`DistanceModel` backed by the worker-persistent cache.
+
+    This is what executor worker tasks build: distances memoized in one
+    task stay warm for every later task of the same fingerprint that
+    lands on the same worker.
+    """
+    spreads = {
+        attr.name: relation.value_range(attr.name)
+        for attr in relation.schema
+        if attr.kind == NUMERIC
+    }
+    fingerprint = model_fingerprint(relation.schema, spreads, overrides)
+    return DistanceModel(
+        relation,
+        weights=weights,
+        overrides=overrides,
+        cache=worker_distance_cache(fingerprint),
+    )
+
+
+def retained_fingerprints() -> int:
+    """How many distinct caches this process currently holds."""
+    return len(_caches)

@@ -1,0 +1,569 @@
+"""The parallel component-sharded repair executor.
+
+Theorem 5 (the FD graph) and Section 3 (the violation graph) make
+repair embarrassingly parallel: connected components never interact, so
+each one is an independent work unit. This module turns that insight
+into an execution layer:
+
+* :class:`ComponentTask` — one schedulable unit: repair one FD-graph
+  component of one relation under one :class:`~repro.exec.config.RepairConfig`.
+* :func:`repair_component` — the per-component algorithm dispatch
+  (moved here from the old ``Repairer._repair_component``), including
+  the budget-based algorithm auto-selection and the anytime fallback.
+* :class:`RepairExecutor` — shards a repair (or a whole batch of
+  repairs) into component tasks, runs them serially (``n_jobs=1``) or
+  across a ``ProcessPoolExecutor``, and merges results in stable
+  component order.
+
+**Determinism guarantee.** Every task is a pure function of its inputs
+and results are merged in component order, so ``result.edits``,
+``result.cost`` and the repaired relation are byte-identical for every
+``n_jobs`` value. Warnings raised inside workers are captured and
+re-emitted in the parent, in component order, so even the warning
+stream is reproducible. See ``docs/parallelism.md``.
+
+**Degradation.** Exact algorithms can exhaust their search budgets. The
+executor handles this in two places, both loudly: pre-emptively, when a
+component's violation-graph size exceeds ``config.component_budget``
+(the exact search is hopeless, so its greedy counterpart runs instead);
+and mid-search, when the expansion raises
+``ExpansionLimitError`` / ``CombinationLimitError`` and
+``fallback="greedy"`` is configured. Either way a
+:class:`~repro.exec.stats.DegradedRepairWarning` is emitted and the
+component is recorded in ``result.stats.degraded_components``.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import FD
+from repro.core.detection import DetectionReport, classify_violations
+from repro.core.distances import DistanceModel
+from repro.core.multi.appro import repair_multi_fd_appro
+from repro.core.multi.exact import CombinationLimitError, repair_multi_fd_exact
+from repro.core.multi.fdgraph import fd_components
+from repro.core.multi.greedy import repair_multi_fd_greedy
+from repro.core.repair import RepairResult, merge_results, squash_edits
+from repro.core.single.exact import repair_single_fd_exact
+from repro.core.single.greedy import repair_single_fd_greedy
+from repro.core.single.mis import ExpansionLimitError
+from repro.core.violation import FTViolation, group_patterns
+from repro.dataset.relation import Relation
+from repro.exec.cache import shared_model
+from repro.exec.config import RepairConfig
+from repro.exec.stats import DegradedRepairWarning, ExecutionStats
+from repro.index.simjoin import SimilarityJoin
+
+#: exact algorithm -> the greedy algorithm it degrades to
+GREEDY_COUNTERPART = {"exact-m": "greedy-m", "exact-s": "greedy-s"}
+
+#: warning categories that may cross the process boundary
+_WARNING_CATEGORIES = {
+    "DegradedRepairWarning": DegradedRepairWarning,
+    "DeprecationWarning": DeprecationWarning,
+    "RuntimeWarning": RuntimeWarning,
+    "UserWarning": UserWarning,
+}
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ComponentTask:
+    """Repair one FD-graph component of one relation."""
+
+    index: int  #: merge position within the owning relation
+    group: int  #: which relation of a batch this task belongs to
+    relation: Relation
+    fds: Tuple[FD, ...]
+    thresholds: Tuple[Tuple[FD, float], ...]  #: materialized per-FD taus
+    config: RepairConfig
+
+
+@dataclass
+class ComponentOutcome:
+    """What a worker ships back for one :class:`ComponentTask`."""
+
+    index: int
+    group: int
+    result: RepairResult
+    seconds: float
+    algorithm: str  #: the algorithm that actually ran
+    fd_names: List[str]  #: the component's FDs, in order
+    patterns: int  #: largest per-FD violation-graph size of the component
+    degraded: Optional[Dict[str, Any]]
+    cache_hits: int
+    cache_misses: int
+    captured_warnings: List[Tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DetectionTask:
+    """Detect FT-violations of one FD of one relation."""
+
+    index: int
+    relation: Relation
+    fd: FD
+    tau: float
+    config: RepairConfig
+
+
+@dataclass
+class DetectionOutcome:
+    index: int
+    fd_name: str
+    violations: List[FTViolation]
+    seconds: float
+    pairs_examined: int
+    pairs_filtered: int
+    cache_hits: int
+    cache_misses: int
+
+
+# ----------------------------------------------------------------------
+# Per-component repair (the former Repairer._repair_component)
+# ----------------------------------------------------------------------
+def component_size(
+    relation: Relation, fds: Sequence[FD]
+) -> Tuple[int, Dict[str, int]]:
+    """Violation-graph node counts of a component: (max, per-FD).
+
+    The violation graph of an FD has one vertex per distinct projection
+    pattern, so the pattern count *is* the graph size — and it is
+    computable in one linear scan, long before any quadratic join.
+    """
+    sizes = {fd.name: len(group_patterns(relation, fd)) for fd in fds}
+    return (max(sizes.values()) if sizes else 0), sizes
+
+
+def repair_component(
+    relation: Relation,
+    fds: Sequence[FD],
+    model: DistanceModel,
+    thresholds: Dict[FD, float],
+    config: RepairConfig,
+) -> Tuple[RepairResult, Dict[str, Any]]:
+    """Repair one FD-graph component; returns (result, execution meta).
+
+    Meta records the algorithm actually used, the component's graph
+    size, and a degradation record when an exact search was skipped
+    (``component_budget``) or abandoned (anytime fallback).
+    """
+    algorithm = config.algorithm
+    patterns, sizes = component_size(relation, fds)
+    names = [fd.name for fd in fds]
+    meta: Dict[str, Any] = {
+        "algorithm": algorithm,
+        "patterns": patterns,
+        "pattern_sizes": sizes,
+        "degraded": None,
+    }
+
+    # Budget-based auto-selection: exact search on an oversized component
+    # is hopeless; degrade up front rather than mid-expansion.
+    budget = config.component_budget
+    if algorithm in GREEDY_COUNTERPART and budget is not None and patterns > budget:
+        degraded_to = GREEDY_COUNTERPART[algorithm]
+        warnings.warn(
+            f"component {names} has {patterns} violation-graph node(s), "
+            f"over the component_budget of {budget}; degrading "
+            f"{algorithm} -> {degraded_to} for this component",
+            DegradedRepairWarning,
+            stacklevel=2,
+        )
+        meta["degraded"] = {
+            "fds": names,
+            "reason": "component_budget",
+            "budget": budget,
+            "patterns": patterns,
+            "from": algorithm,
+            "to": degraded_to,
+        }
+        algorithm = degraded_to
+
+    meta["algorithm"] = algorithm
+    try:
+        result = _dispatch(relation, fds, model, thresholds, algorithm, config)
+    except (ExpansionLimitError, CombinationLimitError) as exc:
+        if config.fallback != "greedy":
+            raise
+        degraded_to = GREEDY_COUNTERPART[algorithm]
+        warnings.warn(
+            f"{algorithm} exhausted its search budget on component {names} "
+            f"({type(exc).__name__}: {exc}); degrading to {degraded_to} "
+            f"for this component",
+            DegradedRepairWarning,
+            stacklevel=2,
+        )
+        meta["degraded"] = {
+            "fds": names,
+            "reason": "budget_exhausted",
+            "error": type(exc).__name__,
+            "from": algorithm,
+            "to": degraded_to,
+        }
+        meta["algorithm"] = degraded_to
+        result = _dispatch(relation, fds, model, thresholds, degraded_to, config)
+        result.stats["fallback_from"] = algorithm
+    if meta["degraded"] is not None:
+        result.stats["degraded"] = True
+    return result, meta
+
+
+def _dispatch(
+    relation: Relation,
+    fds: Sequence[FD],
+    model: DistanceModel,
+    thresholds: Dict[FD, float],
+    algorithm: str,
+    config: RepairConfig,
+) -> RepairResult:
+    """Run *algorithm* on one component (no fallback handling)."""
+    if algorithm in ("exact-s", "greedy-s"):
+        return _repair_sequential(relation, fds, model, thresholds, algorithm, config)
+    if algorithm == "appro-m":
+        return repair_multi_fd_appro(
+            relation,
+            fds,
+            model,
+            thresholds,
+            use_tree=config.use_tree,
+            join_strategy=config.join_strategy,
+        )
+    if algorithm == "greedy-m":
+        return repair_multi_fd_greedy(
+            relation,
+            fds,
+            model,
+            thresholds,
+            use_tree=config.use_tree,
+            join_strategy=config.join_strategy,
+        )
+    # exact-m
+    return repair_multi_fd_exact(
+        relation,
+        fds,
+        model,
+        thresholds,
+        use_tree=config.use_tree,
+        max_nodes=config.max_nodes,
+        max_combinations=config.max_combinations,
+        join_strategy=config.join_strategy,
+    )
+
+
+def _repair_sequential(
+    relation: Relation,
+    fds: Sequence[FD],
+    model: DistanceModel,
+    thresholds: Dict[FD, float],
+    algorithm: str,
+    config: RepairConfig,
+) -> RepairResult:
+    """Apply the single-FD algorithm FD by FD on the evolving data."""
+    current = relation
+    edits: List = []
+    total = 0.0
+    for fd in fds:
+        if algorithm == "exact-s":
+            # ExpansionLimitError propagates to repair_component, which
+            # owns the (warned) greedy fallback.
+            step = repair_single_fd_exact(
+                current,
+                fd,
+                model,
+                thresholds[fd],
+                max_nodes=config.max_nodes,
+                join_strategy=config.join_strategy,
+            )
+        else:
+            step = repair_single_fd_greedy(
+                current,
+                fd,
+                model,
+                thresholds[fd],
+                join_strategy=config.join_strategy,
+            )
+        current = step.relation
+        edits.extend(step.edits)
+        total += step.cost
+    return RepairResult(current, squash_edits(edits), total, {})
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (must be module-level for pickling)
+# ----------------------------------------------------------------------
+def _run_component_task(task: ComponentTask) -> ComponentOutcome:
+    """Execute one component task; pure function of the task."""
+    model = shared_model(
+        task.relation, task.config.weights, task.config.distance_overrides
+    )
+    hits0, misses0 = model.cache_hits, model.cache_misses
+    start = time.perf_counter()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result, meta = repair_component(
+            task.relation,
+            task.fds,
+            model,
+            dict(task.thresholds),
+            task.config,
+        )
+    seconds = time.perf_counter() - start
+    return ComponentOutcome(
+        index=task.index,
+        group=task.group,
+        result=result,
+        seconds=seconds,
+        algorithm=meta["algorithm"],
+        fd_names=[fd.name for fd in task.fds],
+        patterns=meta["patterns"],
+        degraded=meta["degraded"],
+        cache_hits=model.cache_hits - hits0,
+        cache_misses=model.cache_misses - misses0,
+        captured_warnings=[
+            (w.category.__name__, str(w.message)) for w in caught
+        ],
+    )
+
+
+def _run_detection_task(task: DetectionTask) -> DetectionOutcome:
+    """Detect the FT-violations of one FD; pure function of the task."""
+    model = shared_model(
+        task.relation, task.config.weights, task.config.distance_overrides
+    )
+    hits0, misses0 = model.cache_hits, model.cache_misses
+    start = time.perf_counter()
+    patterns = group_patterns(task.relation, task.fd)
+    join = SimilarityJoin(
+        task.fd, model, task.tau, strategy=task.config.join_strategy
+    )
+    violations = join.join(patterns)
+    return DetectionOutcome(
+        index=task.index,
+        fd_name=task.fd.name,
+        violations=violations,
+        seconds=time.perf_counter() - start,
+        pairs_examined=join.pairs_examined,
+        pairs_filtered=join.pairs_filtered,
+        cache_hits=model.cache_hits - hits0,
+        cache_misses=model.cache_misses - misses0,
+    )
+
+
+def _reemit(captured: Sequence[Tuple[str, str]]) -> None:
+    """Replay warnings captured in a worker in the parent process."""
+    for category_name, message in captured:
+        category = _WARNING_CATEGORIES.get(category_name, UserWarning)
+        warnings.warn(message, category, stacklevel=3)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class RepairExecutor:
+    """Shard repairs into component tasks and run them under a config.
+
+    ``n_jobs=1`` (the default) runs every task in-process, in order —
+    the deterministic serial fallback. ``n_jobs>1`` fans tasks out over
+    a ``ProcessPoolExecutor``; ``n_jobs=-1`` uses one worker per CPU.
+    Results are identical either way (see the module docstring).
+
+    The executor is stateless between calls; it can be reused across
+    relations and is itself cheap to construct.
+    """
+
+    def __init__(self, config: Optional[RepairConfig] = None) -> None:
+        self.config = config or RepairConfig()
+
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        relation: Relation,
+        fds: Sequence[FD],
+        thresholds: Dict[FD, float],
+    ) -> RepairResult:
+        """Repair *relation* against *fds*; input never mutated."""
+        return self.repair_many([(relation, fds, thresholds)])[0]
+
+    def repair_many(
+        self,
+        jobs: Sequence[Tuple[Relation, Sequence[FD], Dict[FD, float]]],
+    ) -> List[RepairResult]:
+        """Repair a batch of (relation, fds, thresholds) jobs.
+
+        All components of all jobs enter one task queue and share one
+        worker pool — the unit of scheduling is the component, so a
+        batch parallelizes even when each relation has few components.
+        Results come back in job order, each merged in component order.
+        """
+        tasks: List[ComponentTask] = []
+        for group, (relation, fds, thresholds) in enumerate(jobs):
+            for index, component in enumerate(fd_components(list(fds))):
+                tasks.append(
+                    ComponentTask(
+                        index=index,
+                        group=group,
+                        relation=relation,
+                        fds=tuple(component),
+                        thresholds=tuple(
+                            (fd, float(thresholds[fd])) for fd in component
+                        ),
+                        config=self.config,
+                    )
+                )
+        outcomes, elapsed, workers = self._run(tasks, _run_component_task)
+
+        results: List[RepairResult] = []
+        utilization = _utilization(outcomes, elapsed, workers)
+        for group, (relation, fds, thresholds) in enumerate(jobs):
+            mine = sorted(
+                (o for o in outcomes if o.group == group), key=lambda o: o.index
+            )
+            results.append(
+                self._merge(
+                    relation, list(fds), thresholds, mine, elapsed, workers,
+                    utilization,
+                )
+            )
+        return results
+
+    def detect(
+        self,
+        relation: Relation,
+        fds: Sequence[FD],
+        thresholds: Dict[FD, float],
+    ) -> DetectionReport:
+        """Detection only: one task per FD, merged in FD order."""
+        tasks = [
+            DetectionTask(
+                index=i,
+                relation=relation,
+                fd=fd,
+                tau=float(thresholds[fd]),
+                config=self.config,
+            )
+            for i, fd in enumerate(fds)
+        ]
+        outcomes, elapsed, workers = self._run(tasks, _run_detection_task)
+        outcomes.sort(key=lambda o: o.index)
+
+        violations: Dict[str, List[FTViolation]] = {}
+        suspects: Dict[str, Set[int]] = {}
+        likely: Dict[str, Set[int]] = {}
+        per_fd: List[Dict[str, Any]] = []
+        for outcome in outcomes:
+            violations[outcome.fd_name] = outcome.violations
+            tids, minority = classify_violations(outcome.violations)
+            suspects[outcome.fd_name] = tids
+            likely[outcome.fd_name] = minority
+            per_fd.append(
+                {
+                    "fd": outcome.fd_name,
+                    "seconds": outcome.seconds,
+                    "violations": len(outcome.violations),
+                    "pairs_examined": outcome.pairs_examined,
+                    "pairs_filtered": outcome.pairs_filtered,
+                }
+            )
+        stats = ExecutionStats(
+            {
+                "n_jobs": workers,
+                "wall_seconds": elapsed,
+                "worker_utilization": _utilization(outcomes, elapsed, workers),
+                "components": per_fd,
+                "cache_hits": sum(o.cache_hits for o in outcomes),
+                "cache_misses": sum(o.cache_misses for o in outcomes),
+                "pairs_examined": sum(o.pairs_examined for o in outcomes),
+                "pairs_filtered": sum(o.pairs_filtered for o in outcomes),
+            }
+        )
+        return DetectionReport(
+            relation_size=len(relation),
+            thresholds={fd.name: float(thresholds[fd]) for fd in fds},
+            violations=violations,
+            suspects=suspects,
+            likely_errors=likely,
+            stats=stats,
+            timings={"detect": elapsed},
+        )
+
+    # ------------------------------------------------------------------
+    def _run(self, tasks, runner) -> Tuple[List[Any], float, int]:
+        """Run tasks serially or across the pool; stable output order.
+
+        Returns (outcomes, elapsed wall seconds, effective workers).
+        Warnings captured inside tasks are re-emitted here, in task
+        order, so the warning stream is identical for every n_jobs.
+        """
+        workers = self.config.effective_jobs(len(tasks))
+        start = time.perf_counter()
+        if workers <= 1 or len(tasks) <= 1:
+            workers = 1
+            outcomes = [runner(task) for task in tasks]
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [pool.submit(runner, task) for task in tasks]
+                    outcomes = [future.result() for future in futures]
+            except (TypeError, AttributeError) as exc:  # unpicklable payload
+                raise RuntimeError(
+                    "parallel execution requires picklable FDs, relations "
+                    "and distance overrides (module-level functions, not "
+                    f"lambdas); underlying error: {exc}"
+                ) from exc
+        elapsed = time.perf_counter() - start
+        for outcome in outcomes:
+            _reemit(getattr(outcome, "captured_warnings", ()))
+        return outcomes, elapsed, workers
+
+    def _merge(
+        self,
+        relation: Relation,
+        fds: List[FD],
+        thresholds: Dict[FD, float],
+        outcomes: List[ComponentOutcome],
+        elapsed: float,
+        workers: int,
+        utilization: float,
+    ) -> RepairResult:
+        merged = merge_results(relation, [o.result for o in outcomes])
+        stats = ExecutionStats(merged.stats)
+        stats["algorithm"] = self.config.algorithm
+        stats["thresholds"] = {fd.name: float(thresholds[fd]) for fd in fds}
+        stats["fd_components"] = len(outcomes)
+        stats["n_jobs"] = workers
+        stats["wall_seconds"] = elapsed
+        stats["worker_utilization"] = utilization
+        stats["components"] = [
+            {
+                "index": o.index,
+                "fds": list(o.fd_names),
+                "algorithm": o.algorithm,
+                "seconds": o.seconds,
+                "patterns": o.patterns,
+                "degraded": o.degraded is not None,
+            }
+            for o in outcomes
+        ]
+        stats["cache_hits"] = sum(o.cache_hits for o in outcomes)
+        stats["cache_misses"] = sum(o.cache_misses for o in outcomes)
+        degraded = [o.degraded for o in outcomes if o.degraded is not None]
+        stats["degraded"] = bool(degraded)
+        stats["degraded_components"] = degraded
+        merged.stats = stats
+        merged.timings["execute"] = elapsed
+        return merged
+
+
+def _utilization(outcomes, elapsed: float, workers: int) -> float:
+    busy = sum(o.seconds for o in outcomes)
+    if elapsed <= 0 or workers <= 0:
+        return 1.0
+    return min(1.0, busy / (elapsed * workers))

@@ -1,0 +1,135 @@
+"""Execution statistics and degradation signalling.
+
+:class:`ExecutionStats` is a ``dict`` subclass: every algorithm counter
+that used to live in the free-form ``RepairResult.stats`` mapping is
+still there, under the same keys, and every existing ``stats["..."]``
+consumer keeps working. On top of the mapping it adds typed, documented
+accessors for the execution-layer fields the
+:class:`~repro.exec.executor.RepairExecutor` records:
+
+* per-component outcomes (``components``: algorithm used, wall seconds,
+  graph size, degradation),
+* distance-cache effectiveness (``cache_hits`` / ``cache_misses`` /
+  ``cache_hit_rate``),
+* parallel utilization (``n_jobs``, ``worker_utilization``),
+* the degradation flag (``degraded`` / ``degraded_components``) set when
+  an exact algorithm ran out of budget and fell back to greedy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class DegradedRepairWarning(RuntimeWarning):
+    """An exact algorithm exhausted its budget and degraded to greedy.
+
+    Emitted once per degraded component, naming the component and the
+    exhausted budget, whether the degradation was pre-emptive
+    (``component_budget``) or discovered mid-search (the anytime
+    fallback on ``ExpansionLimitError`` / ``CombinationLimitError``).
+    """
+
+
+class ExecutionStats(dict):
+    """Dict-compatible statistics of one executor run.
+
+    Behaves exactly like the free-form stats mapping the algorithms have
+    always produced (``stats["iterations"]`` etc.) while exposing the
+    executor's structured fields as attributes::
+
+        result = Repairer(fds, config=cfg).repair(relation)
+        result.stats.degraded          # -> bool
+        result.stats.cache_hit_rate    # -> float in [0, 1]
+        result.stats["algorithm"]      # -> "greedy-m", as before
+    """
+
+    # -- execution layer ------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        """Effective worker count of the run (1 = serial)."""
+        return int(self.get("n_jobs", 1))
+
+    @property
+    def components(self) -> List[Dict[str, Any]]:
+        """Per-component records: index, fds, algorithm, seconds, size."""
+        return list(self.get("components", ()))
+
+    @property
+    def wall_seconds(self) -> float:
+        """End-to-end wall time of the execution phase."""
+        return float(self.get("wall_seconds", 0.0))
+
+    @property
+    def worker_utilization(self) -> float:
+        """Sum of per-component wall time over ``workers * elapsed``.
+
+        1.0 means every worker was busy the whole run; a serial run
+        reports 1.0 by construction (modulo scheduling noise).
+        """
+        return float(self.get("worker_utilization", 1.0))
+
+    # -- distance cache -------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return int(self.get("cache_hits", 0))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.get("cache_misses", 0))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over probes of the memoized distance cache (0 when idle)."""
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
+    # -- degradation ----------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True when any component fell back from exact to greedy."""
+        return bool(self.get("degraded", False))
+
+    @property
+    def degraded_components(self) -> List[Dict[str, Any]]:
+        """The components that degraded: index, fds, reason, budget."""
+        return list(self.get("degraded_components", ()))
+
+    # -- pruning --------------------------------------------------------
+    @property
+    def pruning(self) -> Dict[str, int]:
+        """Aggregated pruning counters harvested from algorithm stats."""
+        out: Dict[str, int] = {}
+        for key in (
+            "pairs_examined",
+            "pairs_filtered",
+            "target_tree_nodes_visited",
+            "target_tree_nodes_pruned",
+            "nodes_expanded",
+            "combinations_pruned",
+        ):
+            if key in self:
+                out[key] = int(self[key])
+        return out
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One compact human-readable line for summaries and the CLI."""
+        bits = [f"n_jobs={self.n_jobs}"]
+        if "components" in self:
+            bits.append(f"{len(self.components)} component(s)")
+        if self.wall_seconds:
+            bits.append(f"{self.wall_seconds:.3f}s")
+        probes = self.cache_hits + self.cache_misses
+        if probes:
+            bits.append(f"cache hit rate {self.cache_hit_rate:.0%}")
+        if self.degraded:
+            bits.append(f"degraded x{len(self.degraded_components)}")
+        return ", ".join(bits)
+
+
+def as_execution_stats(stats: Optional[Dict[str, Any]]) -> ExecutionStats:
+    """Wrap a plain stats mapping without copying semantics."""
+    if isinstance(stats, ExecutionStats):
+        return stats
+    return ExecutionStats(stats or {})

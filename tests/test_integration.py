@@ -163,7 +163,7 @@ class TestAutoThresholdPipeline:
         """The gap heuristic alone (no analytic taus) still repairs well."""
         trial = Trial(dataset="hosp", n=400, error_rate=0.04, seed=35)
         _, dirty, truth, fds, _ = trial.workload()
-        repairer = Repairer(fds, algorithm="greedy-m", rng=5)
+        repairer = Repairer(fds, algorithm="greedy-m", seed=5)
         result = repairer.repair(dirty)
         quality = evaluate_repair(result.edits, truth)
         assert quality.f1 > 0.6

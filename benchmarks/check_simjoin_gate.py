@@ -1,0 +1,60 @@
+"""CI gate over the BENCH_simjoin.json trajectory.
+
+Reads the latest entry of the trajectory file the simjoin ablation
+benchmark appends (``benchmarks/test_ablation_simjoin.py``) and fails
+when the ``indexed`` strategy examined more candidate pairs than the
+``filtered`` scan — the regression the candidate-generation layer
+exists to prevent. Exit status 0 on pass, 1 on failure, 2 when the
+trajectory is missing or malformed.
+
+Usage::
+
+    python benchmarks/check_simjoin_gate.py [path/to/BENCH_simjoin.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_simjoin.json"
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        print(f"gate: {path} not found; run the simjoin ablation first",
+              file=sys.stderr)
+        return 2
+    try:
+        trajectory = json.loads(path.read_text())
+        entry = trajectory[-1]
+        strategies = entry["strategies"]
+        indexed = strategies["indexed"]["pairs_examined"]
+        filtered = strategies["filtered"]["pairs_examined"]
+    except (ValueError, KeyError, IndexError, TypeError) as exc:
+        print(f"gate: cannot read latest trajectory entry: {exc}",
+              file=sys.stderr)
+        return 2
+
+    possible = entry.get("possible_pairs", 0)
+    print(
+        f"gate: scale={entry.get('scale')} n={entry.get('n_tuples')} "
+        f"possible={possible} indexed_examined={indexed} "
+        f"filtered_examined={filtered}"
+    )
+    if indexed > filtered:
+        print(
+            "gate: FAIL — indexed examined more candidate pairs than the "
+            "filtered scan",
+            file=sys.stderr,
+        )
+        return 1
+    reduction = 1.0 - indexed / possible if possible else 0.0
+    print(f"gate: PASS — indexed pair reduction {reduction:.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,25 +6,39 @@ short key-like values (the generators' 7-character words) the DP is so
 cheap that filters only break even, so this bench measures detection
 over *long* values — 25-character strings, the regime of real HOSP
 hospital names and addresses — where skipping the DP pays.
+
+``test_hosp_slice_trajectory`` additionally times end-to-end detection
+of every strategy on a noisy generated HOSP slice (5k tuples at
+``REPRO_BENCH_SCALE=paper``, 800 at smoke) and appends the wall clocks
+and candidate counters to the ``BENCH_simjoin.json`` trajectory file at
+the repository root; ``benchmarks/check_simjoin_gate.py`` gates CI on
+its latest entry.
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
-from _harness import record_custom
+from _harness import SCALE, record_custom
 from repro.core.constraints import FD
-from repro.core.distances import DistanceModel
+from repro.core.distances import DistanceModel, Weights
 from repro.core.violation import group_patterns
 from repro.dataset.relation import Relation, Schema
 from repro.eval.metrics import RepairQuality
 from repro.eval.runner import Trial
+from repro.generator.hosp import HOSP_FDS, generate_hosp, hosp_thresholds
+from repro.generator.noise import NoiseConfig, inject_noise
 from repro.generator.vocab import build_vocabulary
+from repro.index.simjoin import STRATEGIES, SimilarityJoin
 from repro.utils.rng import make_rng
 
 TRIAL = Trial(dataset="hosp", n=400, error_rate=0.06, seed=402)
 N_ENTITIES = 120
 FD_LONG = FD.parse("LongKey -> LongName")
+HOSP_SLICE_N = 5000 if SCALE == "paper" else 800
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_simjoin.json"
 
 
 def _long_string_relation() -> Relation:
@@ -46,10 +60,8 @@ def _long_string_relation() -> Relation:
     return relation
 
 
-@pytest.mark.parametrize("strategy", ["naive", "filtered", "qgram"])
+@pytest.mark.parametrize("strategy", list(STRATEGIES))
 def test_ablation_simjoin(benchmark, strategy):
-    from repro.index.simjoin import SimilarityJoin
-
     relation = _long_string_relation()
     patterns = group_patterns(relation, FD_LONG)
     tau = 0.15  # catches the seeded typos only
@@ -75,14 +87,12 @@ def test_ablation_simjoin(benchmark, strategy):
 
 
 def test_strategies_agree_on_long_strings(benchmark):
-    from repro.index.simjoin import SimilarityJoin
-
     relation = _long_string_relation()
     patterns = group_patterns(relation, FD_LONG)
 
-    def all_three():
+    def all_strategies():
         results = []
-        for strategy in ("naive", "filtered", "qgram"):
+        for strategy in STRATEGIES:
             model = DistanceModel(relation)
             join = SimilarityJoin(FD_LONG, model, 0.15, strategy=strategy)
             results.append(
@@ -93,5 +103,94 @@ def test_strategies_agree_on_long_strings(benchmark):
             )
         return results
 
-    results = benchmark.pedantic(all_three, rounds=1, iterations=1)
-    assert results[0] == results[1] == results[2]
+    results = benchmark.pedantic(all_strategies, rounds=1, iterations=1)
+    assert all(result == results[0] for result in results[1:])
+
+
+# ----------------------------------------------------------------------
+# The BENCH_simjoin.json trajectory: noisy HOSP slice, every strategy
+# ----------------------------------------------------------------------
+def _noisy_hosp_workload():
+    clean = generate_hosp(HOSP_SLICE_N, rng=7)
+    relation, _errors = inject_noise(clean, HOSP_FDS, NoiseConfig(), rng=11)
+    weights = Weights(0.5, 0.5)
+    thresholds = hosp_thresholds(weights=weights)
+    patterns = {fd: group_patterns(relation, fd) for fd in HOSP_FDS}
+    return relation, weights, thresholds, patterns
+
+
+def test_hosp_slice_trajectory(benchmark):
+    relation, weights, thresholds, patterns = _noisy_hosp_workload()
+
+    def run_all():
+        runs = {}
+        violations = {}
+        for strategy in STRATEGIES:
+            # fresh model per strategy: the distance cache must not
+            # leak between strategies or later ones get a free ride
+            model = DistanceModel(relation, weights=weights)
+            counters = {
+                "possible_pairs": 0,
+                "candidates_generated": 0,
+                "pairs_examined": 0,
+                "pairs_filtered": 0,
+                "pairs_verified": 0,
+            }
+            out = []
+            start = time.perf_counter()
+            for fd in HOSP_FDS:
+                join = SimilarityJoin(
+                    fd, model, thresholds[fd], strategy=strategy
+                )
+                out.append(
+                    [
+                        (v.left.values, v.right.values, v.distance)
+                        for v in join.join(patterns[fd])
+                    ]
+                )
+                for key in counters:
+                    counters[key] += getattr(join, key)
+            counters["seconds"] = round(time.perf_counter() - start, 4)
+            runs[strategy] = counters
+            violations[strategy] = out
+        return runs, violations
+
+    runs, violations = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # every strategy returns the identical violation list, distances and
+    # order included
+    reference = violations["naive"]
+    for strategy in STRATEGIES[1:]:
+        assert violations[strategy] == reference, strategy
+
+    # the blocker must not examine more pairs than the filtered scan
+    assert (
+        runs["indexed"]["pairs_examined"] <= runs["filtered"]["pairs_examined"]
+    )
+
+    entry = {
+        "scale": SCALE,
+        "n_tuples": HOSP_SLICE_N,
+        "n_fds": len(HOSP_FDS),
+        "possible_pairs": runs["naive"]["possible_pairs"],
+        "strategies": runs,
+        "indexed_verified_fraction": round(
+            runs["indexed"]["pairs_verified"]
+            / max(1, runs["naive"]["possible_pairs"]),
+            4,
+        ),
+    }
+    trajectory = []
+    if BENCH_PATH.exists():
+        trajectory = json.loads(BENCH_PATH.read_text())
+    trajectory.append(entry)
+    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    placeholder = RepairQuality(1.0, 1.0, 1.0, 0, 0.0, 0)
+    slice_trial = Trial(dataset="hosp", n=HOSP_SLICE_N, error_rate=0.06,
+                        seed=7)
+    for strategy, counters in runs.items():
+        record_custom(
+            "ablation_simjoin", f"hosp-{strategy}", slice_trial, placeholder,
+            counters["seconds"], 0, dict(counters),
+        )

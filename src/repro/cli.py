@@ -24,6 +24,7 @@ from repro.core.engine import ALGORITHMS, Repairer
 from repro.core.distances import Weights
 from repro.dataset.csvio import read_csv, write_csv
 from repro.exec import RepairConfig
+from repro.index.simjoin import STRATEGIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,6 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="COLUMN",
         help="treat COLUMN as numeric (Euclidean distance); repeatable",
+    )
+    parser.add_argument(
+        "--simjoin-strategy",
+        choices=list(STRATEGIES),
+        default="indexed",
+        help=(
+            "FT-violation detection strategy (default: indexed — "
+            "sub-quadratic candidate generation; all strategies return "
+            "identical violations)"
+        ),
     )
     parser.add_argument(
         "--n-jobs",
@@ -139,6 +150,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.lhs_weight, round(1.0 - args.lhs_weight, 12)
             ),
             thresholds=args.tau,
+            join_strategy=args.simjoin_strategy,
             fallback="greedy",
             n_jobs=args.n_jobs,
             component_budget=args.component_budget,
@@ -167,6 +179,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"execution: {describe()}")
         for phase, secs in sorted(result.timings.items()):
             print(f"  {phase}: {secs:.3f}s")
+        pruning = getattr(result.stats, "pruning", None)
+        if pruning:
+            print(f"detection ({args.simjoin_strategy}):")
+            for key, value in pruning.items():
+                print(f"  {key}: {value}")
+            reduction = getattr(result.stats, "reduction_ratio", None)
+            if reduction:
+                print(f"  reduction_ratio: {reduction:.3f}")
         for comp in result.stats.get("components", ()):
             flag = " [degraded]" if comp.get("degraded") else ""
             print(

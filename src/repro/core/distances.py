@@ -38,12 +38,15 @@ DistanceFn = Callable[[Any, Any], float]
 def levenshtein(a: str, b: str, upper_bound: Optional[int] = None) -> int:
     """Edit distance between *a* and *b* (insert / delete / substitute).
 
-    Implemented from scratch with the classic two-row dynamic program.
     When *upper_bound* is given, the computation may stop early: the
     result is exact whenever it is ``<= upper_bound``, and otherwise is
     some value ``> upper_bound`` (often exactly ``upper_bound + 1``).
     This is the workhorse of FT-violation detection, where only pairs
     below a threshold matter.
+
+    Bounded calls are routed to the banded :func:`levenshtein_banded`
+    kernel — O(upper_bound * min(len)) instead of the O(len_a * len_b)
+    two-row dynamic program; unbounded calls use the full DP.
 
     >>> levenshtein("Boston", "Boton")
     1
@@ -51,6 +54,19 @@ def levenshtein(a: str, b: str, upper_bound: Optional[int] = None) -> int:
     3
     >>> levenshtein("abcdef", "uvwxyz", upper_bound=2)
     3
+    """
+    if upper_bound is not None:
+        return levenshtein_banded(a, b, upper_bound)
+    return levenshtein_two_row(a, b)
+
+
+def levenshtein_two_row(a: str, b: str, upper_bound: Optional[int] = None) -> int:
+    """The classic O(len_a * len_b) two-row dynamic program.
+
+    Same early-abort contract as :func:`levenshtein`: exact whenever the
+    result is ``<= upper_bound``, some value ``> upper_bound`` otherwise.
+    Kept callable directly so the banded kernel can be benchmarked and
+    differentially tested against it.
     """
     if a == b:
         return 0
@@ -84,6 +100,67 @@ def levenshtein(a: str, b: str, upper_bound: Optional[int] = None) -> int:
             return upper_bound + 1
         previous, current = current, previous
     return previous[la]
+
+
+def levenshtein_banded(a: str, b: str, max_edits: int) -> int:
+    """Ukkonen banded edit distance: O(max_edits * min(len_a, len_b)).
+
+    Only the diagonal band ``|i - j| <= max_edits`` of the DP matrix is
+    materialized. Any alignment of cost ``<= max_edits`` stays inside
+    that band (each cell value is at least ``|i - j|``), so the result
+    is **exact whenever it is <= max_edits** and ``max_edits + 1``
+    otherwise — the same early-abort contract as :func:`levenshtein`.
+
+    >>> levenshtein_banded("kitten", "sitting", 5)
+    3
+    >>> levenshtein_banded("abcdef", "uvwxyz", 2)
+    3
+    """
+    if a == b:
+        return 0
+    if max_edits < 0:
+        return 1  # distinct strings differ by at least one edit
+    la, lb = len(a), len(b)
+    if la > lb:  # band over the shorter string's axis
+        a, b, la, lb = b, a, lb, la
+    if lb - la > max_edits:
+        return max_edits + 1
+    if la == 0:
+        return lb  # lb <= max_edits here
+    overflow = max_edits + 1
+    # previous holds row j-1 for i in [plo, plo + len(previous) - 1]
+    plo, previous = 0, list(range(min(la, max_edits) + 1))
+    for j in range(1, lb + 1):
+        lo = j - max_edits if j > max_edits else 0
+        hi = min(la, j + max_edits)
+        bj = b[j - 1]
+        current: list = []
+        row_min = overflow
+        phi = plo + len(previous) - 1
+        for i in range(lo, hi + 1):
+            if i == 0:
+                value = j  # lo == 0 implies j <= max_edits
+            else:
+                cost = 0 if a[i - 1] == bj else 1
+                value = previous[i - 1 - plo] + cost if plo <= i - 1 <= phi else overflow
+                if plo <= i <= phi:  # deletion (vertical move)
+                    up = previous[i - plo] + 1
+                    if up < value:
+                        value = up
+                if i - 1 >= lo:  # insertion (horizontal move)
+                    left = current[i - 1 - lo] + 1
+                    if left < value:
+                        value = left
+                if value > overflow:
+                    value = overflow
+            current.append(value)
+            if value < row_min:
+                row_min = value
+        if row_min > max_edits:
+            return overflow
+        plo, previous = lo, current
+    result = previous[la - plo]
+    return result if result <= max_edits else overflow
 
 
 def normalized_edit_distance(a: str, b: str) -> float:
@@ -290,6 +367,58 @@ class DistanceModel:
         if self._cache is not None:
             self._cache[key] = value
         return value
+
+    def attribute_distance_within(
+        self, attribute: str, v1: Any, v2: Any, limit: float
+    ) -> Optional[float]:
+        """Eq. (1) distance when it may be ``<= limit``, else ``None``.
+
+        The contract mirrors the bounded edit distance: whenever a float
+        is returned it is the **exact** :meth:`attribute_distance` value
+        (bit-identical — callers re-apply their own threshold
+        arithmetic); ``None`` is returned only when the distance provably
+        exceeds *limit*. Plain string attributes use the banded
+        Levenshtein kernel with one edit of slack over
+        ``limit * max(len)``, so the kernel band never decides a
+        float-boundary case — the caller's comparison does.
+        """
+        if v1 == v2:
+            return 0.0
+        if limit < 0.0:
+            return None  # distinct values always have positive distance
+        if self._cache is not None:
+            key = (attribute, v1, v2)
+            hit = self._cache.get(key)
+            if hit is None:
+                hit = self._cache.get((attribute, v2, v1))
+            if hit is not None:
+                self.cache_hits += 1
+                return hit
+        if attribute in self._overrides or attribute in self._spreads:
+            # cheap to evaluate exactly; no banded shortcut applies
+            return self.attribute_distance(attribute, v1, v2)
+        a, b = str(v1), str(v2)
+        longest = max(len(a), len(b))
+        if longest == 0:
+            return 0.0
+        if self._cache is not None:
+            self.cache_misses += 1
+        budget = int(limit * longest) + 1
+        edits = levenshtein_banded(a, b, budget)
+        if edits > budget:
+            return None  # > limit by at least (1 - frac)/longest
+        value = edits / longest
+        if self._cache is not None:
+            self._cache[(attribute, v1, v2)] = value
+        return value
+
+    def is_numeric(self, attribute: str) -> bool:
+        """Whether *attribute* is compared with normalized Euclidean."""
+        return attribute in self._spreads
+
+    def has_override(self, attribute: str) -> bool:
+        """Whether a custom distance function is registered for it."""
+        return attribute in self._overrides
 
     def projection_distance(
         self,

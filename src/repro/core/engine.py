@@ -128,8 +128,12 @@ class Repairer:
         "-Tree" variants of the experiments). Naive target joins
         otherwise.
     join_strategy:
-        Violation-detection filter stack (see
-        :class:`repro.index.simjoin.SimilarityJoin`).
+        Violation-detection strategy (see
+        :class:`repro.index.simjoin.SimilarityJoin`): ``"indexed"``
+        (default — sub-quadratic candidate generation via the blocker
+        planner, ``docs/detection.md``), ``"filtered"``, ``"qgram"`` or
+        ``"naive"``. Every strategy returns identical violations.
+        ``simjoin_strategy=`` is accepted as a synonym.
     fallback:
         For exact algorithms only: ``"error"`` propagates budget
         overruns, ``"greedy"`` degrades to the corresponding greedy
@@ -218,6 +222,11 @@ class Repairer:
 
     @property
     def join_strategy(self) -> str:
+        return self.config.join_strategy
+
+    @property
+    def simjoin_strategy(self) -> str:
+        """Alias of :attr:`join_strategy` (the CLI flag spelling)."""
         return self.config.join_strategy
 
     @property

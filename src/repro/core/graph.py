@@ -46,6 +46,9 @@ class ViolationGraph:
         self.model = model
         self.tau = tau
         self.patterns: List[Pattern] = list(patterns)
+        #: detection counters of the join that built this graph (empty
+        #: when the graph was assembled from precomputed edges)
+        self.join_counters: Dict[str, object] = {}
         self._adjacency: List[Dict[int, float]] = [dict() for _ in self.patterns]
         self._pair_cost_cache: Dict[Tuple[int, int], float] = {}
         for u, v, dist in edges:
@@ -88,7 +91,9 @@ class ViolationGraph:
             (position[id(v.left)], position[id(v.right)], v.distance)
             for v in join.join(patterns)
         ]
-        return cls(fd, model, tau, patterns, edges)
+        graph = cls(fd, model, tau, patterns, edges)
+        graph.join_counters = join.counters()
+        return graph
 
     # ------------------------------------------------------------------
     # Structure
@@ -224,3 +229,30 @@ class ViolationGraph:
             assignment[u] = target
             total += self.repair_cost(u, target)
         return assignment, total
+
+
+#: the detection counters every strategy reports (see SimilarityJoin)
+JOIN_COUNTER_KEYS = (
+    "possible_pairs",
+    "candidates_generated",
+    "pairs_examined",
+    "pairs_filtered",
+    "pairs_verified",
+)
+
+
+def accumulate_join_counters(
+    stats: Dict[str, object], graphs: Iterable["ViolationGraph"]
+) -> None:
+    """Sum the graphs' detection counters into *stats*, in place.
+
+    Called by every repair algorithm after building its violation
+    graphs, so ``result.stats`` (and the CLI ``--stats`` output) report
+    how much of the ``P * (P - 1) / 2`` cross product detection
+    actually examined. Graphs without counters contribute nothing.
+    """
+    for graph in graphs:
+        for key in JOIN_COUNTER_KEYS:
+            value = graph.join_counters.get(key)
+            if value is not None:
+                stats[key] = int(stats.get(key, 0)) + int(value)

@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
-from repro.core.graph import ViolationGraph
+from repro.core.graph import ViolationGraph, accumulate_join_counters
 from repro.core.multi.base import repair_with_sets
 from repro.core.multi.targets import TargetJoinError
 from repro.core.repair import RepairResult, apply_edits
@@ -65,7 +65,7 @@ def repair_multi_fd_appro(
 ) -> RepairResult:
     """Appro-M repair of one FD-graph component."""
     fds = list(fds)
-    _, elements = greedy_sets_per_fd(
+    graphs, elements = greedy_sets_per_fd(
         relation, fds, model, thresholds, join_strategy=join_strategy
     )
     try:
@@ -76,6 +76,7 @@ def repair_multi_fd_appro(
         return _sequential_fallback(relation, fds, model, thresholds, join_strategy)
     repaired = apply_edits(relation, edits)
     stats: Dict[str, object] = {"algorithm": "appro-m", **repair_stats}
+    accumulate_join_counters(stats, graphs)
     return RepairResult(repaired, edits, cost, stats)
 
 

@@ -25,7 +25,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
-from repro.core.graph import ViolationGraph
+from repro.core.graph import ViolationGraph, accumulate_join_counters
 from repro.core.multi.base import evaluate_sets, repair_with_sets
 from repro.core.multi.targets import TargetJoinError
 from repro.core.repair import RepairResult, apply_edits
@@ -270,4 +270,5 @@ def repair_multi_fd_exact(
         **expansion_stats.as_dict(),
         **repair_stats,
     }
+    accumulate_join_counters(stats, graphs)
     return RepairResult(repaired, edits, cost, stats)

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
-from repro.core.graph import ViolationGraph
+from repro.core.graph import ViolationGraph, accumulate_join_counters
 from repro.core.multi.base import repair_with_sets
 from repro.core.multi.targets import TargetJoinError
 from repro.core.repair import RepairResult, apply_edits
@@ -289,4 +289,5 @@ def repair_multi_fd_greedy(
         "iterations": iterations,
         **repair_stats,
     }
+    accumulate_join_counters(stats, [state.graph for state in states])
     return RepairResult(repaired, edits, cost, stats)

@@ -18,7 +18,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
-from repro.core.graph import ViolationGraph
+from repro.core.graph import ViolationGraph, accumulate_join_counters
 from repro.core.repair import RepairResult, apply_edits, edits_from_assignment
 from repro.core.single.mis import ExpansionStats, best_maximal_independent_set
 from repro.dataset.relation import Relation
@@ -53,6 +53,7 @@ def repair_single_fd_exact(
             "graph_edges": graph.edge_count,
         }
     )
+    accumulate_join_counters(stats, [graph])
     return RepairResult(repaired, edits, cost, stats)
 
 

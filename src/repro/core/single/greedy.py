@@ -21,7 +21,7 @@ from typing import Dict, FrozenSet, Optional, Sequence, Set
 
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
-from repro.core.graph import ViolationGraph
+from repro.core.graph import ViolationGraph, accumulate_join_counters
 from repro.core.repair import RepairResult, apply_edits
 from repro.core.single.exact import materialize_pattern_assignment
 from repro.dataset.relation import Relation
@@ -157,4 +157,5 @@ def repair_single_fd_greedy(
         "graph_edges": graph.edge_count,
         "independent_set_size": len(independent),
     }
+    accumulate_join_counters(stats, [graph])
     return RepairResult(repaired, edits, cost, stats)

@@ -127,6 +127,41 @@ def projection_distance_within(
     return total
 
 
+def projection_distance_within_banded(
+    model: DistanceModel,
+    fd: FD,
+    v1: Tuple,
+    v2: Tuple,
+    tau: float,
+) -> Optional[float]:
+    """Eq. (2) distance if ``<= tau``, else ``None`` — banded kernel.
+
+    Semantically identical to :func:`projection_distance_within` (same
+    accepted pairs, bit-identical totals): per-attribute distances come
+    from :meth:`DistanceModel.attribute_distance_within` with the
+    remaining weighted budget, so string attributes run the O(k*n)
+    banded Levenshtein instead of the full dynamic program. Used as the
+    verify step of the ``indexed`` similarity-join strategy.
+    """
+    total = 0.0
+    n_lhs = len(fd.lhs)
+    w_lhs, w_rhs = model.weights.lhs, model.weights.rhs
+    for pos, attr in enumerate(fd.attributes):
+        a, b = v1[pos], v2[pos]
+        if a == b:
+            continue
+        weight = w_lhs if pos < n_lhs else w_rhs
+        if weight <= 0.0:
+            continue  # contributes exactly 0.0, like the reference path
+        dist = model.attribute_distance_within(attr, a, b, (tau - total) / weight)
+        if dist is None:
+            return None
+        total += weight * dist
+        if total > tau:
+            return None
+    return total
+
+
 @dataclass(frozen=True)
 class FTViolation:
     """An FT-violating pattern pair with its Eq. (2) distance."""

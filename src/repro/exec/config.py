@@ -18,6 +18,10 @@ The execution-layer knobs are new in this layer:
   discovering the blow-up mid-search).
 * ``seed`` — RNG seed for threshold sampling (the old ``rng``
   parameter).
+
+``join_strategy`` defaults to ``"indexed"`` — the sub-quadratic
+candidate-generation detection path (see ``docs/detection.md``), which
+returns exactly the same violations as the scan strategies.
 """
 
 from __future__ import annotations
@@ -47,7 +51,7 @@ class RepairConfig:
     weights: Weights = field(default_factory=Weights)
     thresholds: ThresholdsLike = None
     use_tree: bool = True
-    join_strategy: str = "filtered"
+    join_strategy: str = "indexed"
     fallback: str = "error"
     max_nodes: Optional[int] = 200_000
     max_combinations: int = 1_000_000
@@ -86,9 +90,18 @@ class RepairConfig:
         Unknown field names raise; ``_UNSET`` sentinels (used by the
         keyword-override path of the Repairer constructor) are skipped,
         so ``cfg.merged(n_jobs=4, algorithm=_UNSET)`` only touches
-        ``n_jobs``.
+        ``n_jobs``. ``simjoin_strategy`` is accepted as a synonym of
+        ``join_strategy`` (the CLI flag spelling) — a plain alias, no
+        deprecation attached.
         """
         changes = {k: v for k, v in overrides.items() if v is not _UNSET}
+        if "simjoin_strategy" in changes:
+            if "join_strategy" in changes:
+                raise TypeError(
+                    "pass join_strategy or its alias simjoin_strategy, "
+                    "not both"
+                )
+            changes["join_strategy"] = changes.pop("simjoin_strategy")
         unknown = [k for k in changes if k not in _field_names()]
         if unknown:
             raise TypeError(f"unknown RepairConfig field(s): {unknown}")

@@ -120,8 +120,12 @@ class DetectionOutcome:
     fd_name: str
     violations: List[FTViolation]
     seconds: float
+    possible_pairs: int
+    candidates_generated: int
     pairs_examined: int
     pairs_filtered: int
+    pairs_verified: int
+    blocker: Optional[str]
     cache_hits: int
     cache_misses: int
 
@@ -350,8 +354,12 @@ def _run_detection_task(task: DetectionTask) -> DetectionOutcome:
         fd_name=task.fd.name,
         violations=violations,
         seconds=time.perf_counter() - start,
+        possible_pairs=join.possible_pairs,
+        candidates_generated=join.candidates_generated,
         pairs_examined=join.pairs_examined,
         pairs_filtered=join.pairs_filtered,
+        pairs_verified=join.pairs_verified,
+        blocker=join.plan.describe() if join.plan is not None else None,
         cache_hits=model.cache_hits - hits0,
         cache_misses=model.cache_misses - misses0,
     )
@@ -468,8 +476,12 @@ class RepairExecutor:
                     "fd": outcome.fd_name,
                     "seconds": outcome.seconds,
                     "violations": len(outcome.violations),
+                    "possible_pairs": outcome.possible_pairs,
+                    "candidates_generated": outcome.candidates_generated,
                     "pairs_examined": outcome.pairs_examined,
                     "pairs_filtered": outcome.pairs_filtered,
+                    "pairs_verified": outcome.pairs_verified,
+                    "blocker": outcome.blocker,
                 }
             )
         stats = ExecutionStats(
@@ -480,8 +492,13 @@ class RepairExecutor:
                 "components": per_fd,
                 "cache_hits": sum(o.cache_hits for o in outcomes),
                 "cache_misses": sum(o.cache_misses for o in outcomes),
+                "possible_pairs": sum(o.possible_pairs for o in outcomes),
+                "candidates_generated": sum(
+                    o.candidates_generated for o in outcomes
+                ),
                 "pairs_examined": sum(o.pairs_examined for o in outcomes),
                 "pairs_filtered": sum(o.pairs_filtered for o in outcomes),
+                "pairs_verified": sum(o.pairs_verified for o in outcomes),
             }
         )
         return DetectionReport(

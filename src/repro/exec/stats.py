@@ -101,8 +101,11 @@ class ExecutionStats(dict):
         """Aggregated pruning counters harvested from algorithm stats."""
         out: Dict[str, int] = {}
         for key in (
+            "possible_pairs",
+            "candidates_generated",
             "pairs_examined",
             "pairs_filtered",
+            "pairs_verified",
             "target_tree_nodes_visited",
             "target_tree_nodes_pruned",
             "nodes_expanded",
@@ -111,6 +114,20 @@ class ExecutionStats(dict):
             if key in self:
                 out[key] = int(self[key])
         return out
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of the possible detection pairs never examined.
+
+        0.0 for full pair scans (every pair examined) and whenever the
+        detection counters are absent; approaches 1.0 when the
+        ``indexed`` blocker discards almost the entire cross product.
+        """
+        possible = int(self.get("possible_pairs", 0))
+        if not possible:
+            return 0.0
+        examined = int(self.get("pairs_examined", 0))
+        return 1.0 - min(1.0, examined / possible)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
@@ -123,6 +140,8 @@ class ExecutionStats(dict):
         probes = self.cache_hits + self.cache_misses
         if probes:
             bits.append(f"cache hit rate {self.cache_hit_rate:.0%}")
+        if self.get("possible_pairs"):
+            bits.append(f"pair reduction {self.reduction_ratio:.0%}")
         if self.degraded:
             bits.append(f"degraded x{len(self.degraded_components)}")
         return ", ".join(bits)

@@ -1,5 +1,12 @@
 """Indexes and optimizations for FT-violation detection."""
 
+from repro.index.blocking import (
+    AttributeBlocker,
+    BlockPlan,
+    QGramPrefixIndex,
+    candidate_pairs,
+    plan_blocker,
+)
 from repro.index.qgram import QGramIndex, passes_count_filter, qgram_overlap
 from repro.index.simjoin import STRATEGIES, SimilarityJoin
 
@@ -9,4 +16,9 @@ __all__ = [
     "passes_count_filter",
     "SimilarityJoin",
     "STRATEGIES",
+    "AttributeBlocker",
+    "BlockPlan",
+    "QGramPrefixIndex",
+    "candidate_pairs",
+    "plan_blocker",
 ]

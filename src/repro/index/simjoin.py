@@ -2,16 +2,41 @@
 
 Detecting FT-violations is a threshold self-join: find every pattern pair
 whose weighted projection distance (Eq. 2) is at most ``tau``. This
-module wraps the pairwise scan with pluggable filter stacks so the cost
-of detection can be studied (ablation benches) and tuned:
+module wraps the join with pluggable strategies so the cost of detection
+can be studied (ablation benches) and tuned:
 
 * ``naive``     — exact distance for every pair, no filtering.
 * ``filtered``  — per-attribute length lower bound + early-abort
-  accumulation (sound, default).
+  accumulation over the full pair scan.
 * ``qgram``     — ``filtered`` plus a q-gram count filter on the most
   selective string attribute of the FD.
+* ``indexed``   — sub-quadratic candidate generation (engine default):
+  a per-FD blocker planner (:mod:`repro.index.blocking`) replaces the
+  all-pairs loop with exact-match partitioning, a sorted numeric band
+  join, or an inverted q-gram prefix index, and candidates are verified
+  with the banded Levenshtein kernel. Falls back to the filtered scan
+  when no attribute is indexable.
 
-All strategies return exactly the same pairs; only the work differs.
+All strategies return exactly the same violations, in the same order,
+with bit-identical distances; only the work differs.
+
+**Counter semantics** (normalized across strategies):
+
+* ``possible_pairs``       — ``P * (P - 1) / 2`` for ``P`` patterns; the
+  work a full pair scan would face.
+* ``candidates_generated`` — pairs the strategy put on the table: equal
+  to ``possible_pairs`` for the scan strategies, the blocker output for
+  ``indexed``.
+* ``pairs_examined``       — candidate pairs actually inspected (always
+  equals ``candidates_generated``; kept for backward compatibility).
+* ``pairs_filtered``       — of those, rejected by a cheap sound filter
+  (length lower bound, q-gram count) before exact verification. Always
+  0 for ``naive``, which verifies everything.
+* ``pairs_verified``       — pairs that reached the exact Eq. (2)
+  accumulation: ``pairs_examined - pairs_filtered``.
+
+``reduction_ratio`` summarizes the blocking win: the fraction of the
+possible pairs the strategy never examined.
 """
 
 from __future__ import annotations
@@ -23,17 +48,25 @@ from repro.core.distances import DistanceModel
 from repro.core.violation import (
     FTViolation,
     Pattern,
+    _length_lower_bound,
     projection_distance_within,
+    projection_distance_within_banded,
 )
+from repro.index.blocking import BlockPlan, candidate_pairs, plan_blocker
 from repro.index.qgram import passes_count_filter
 
-STRATEGIES = ("naive", "filtered", "qgram")
+STRATEGIES = ("naive", "filtered", "qgram", "indexed")
 
 
 class SimilarityJoin:
     """Threshold self-join over patterns of one FD.
 
-    >>> # doctest-level usage lives in tests/test_simjoin.py
+    See the module docstring for the strategy menu and the exact counter
+    semantics. After :meth:`join` the instance exposes
+    ``possible_pairs`` / ``candidates_generated`` / ``pairs_examined`` /
+    ``pairs_filtered`` / ``pairs_verified``, the achieved
+    :attr:`reduction_ratio`, and (for ``indexed``) the chosen
+    :attr:`plan`.
     """
 
     def __init__(
@@ -41,7 +74,7 @@ class SimilarityJoin:
         fd: FD,
         model: DistanceModel,
         tau: float,
-        strategy: str = "filtered",
+        strategy: str = "indexed",
         q: int = 2,
     ) -> None:
         if strategy not in STRATEGIES:
@@ -54,9 +87,36 @@ class SimilarityJoin:
         self.strategy = strategy
         self.q = q
         self._qgram_attr = self._pick_qgram_attribute() if strategy == "qgram" else None
+        self.plan: Optional[BlockPlan] = None
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self.possible_pairs = 0
+        self.candidates_generated = 0
         self.pairs_examined = 0
         self.pairs_filtered = 0
+        self.pairs_verified = 0
 
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of the possible pairs never examined (0 for scans)."""
+        if not self.possible_pairs:
+            return 0.0
+        return 1.0 - min(1.0, self.pairs_examined / self.possible_pairs)
+
+    def counters(self) -> dict:
+        """The join's instrumentation as a plain mapping (for stats)."""
+        return {
+            "possible_pairs": self.possible_pairs,
+            "candidates_generated": self.candidates_generated,
+            "pairs_examined": self.pairs_examined,
+            "pairs_filtered": self.pairs_filtered,
+            "pairs_verified": self.pairs_verified,
+            "reduction_ratio": self.reduction_ratio,
+            "blocker": self.plan.describe() if self.plan is not None else None,
+        }
+
+    # ------------------------------------------------------------------
     def _pick_qgram_attribute(self) -> Optional[Tuple[int, float]]:
         """Choose the string attribute with the tightest edit budget.
 
@@ -91,36 +151,78 @@ class SimilarityJoin:
         max_edits = int((self.tau / weight) * longest)
         return not passes_count_filter(a, b, max_edits, self.q)
 
+    # ------------------------------------------------------------------
     def join(self, patterns: Sequence[Pattern]) -> List[FTViolation]:
         """All FT-violating pairs among *patterns* at threshold ``tau``."""
+        self._reset_counters()
+        self.plan = None
+        n = len(patterns)
+        self.possible_pairs = n * (n - 1) // 2
+        if self.strategy == "indexed":
+            self.plan = plan_blocker(
+                self.fd, self.model, self.tau, patterns, self.q
+            )
+            if self.plan.kind != "scan":
+                return self._join_indexed(patterns)
+            # no indexable attribute: fall through to the filtered scan
+        return self._join_scan(patterns)
+
+    def _join_indexed(self, patterns: Sequence[Pattern]) -> List[FTViolation]:
+        """Verify only the blocker's candidates, in scan order."""
+        assert self.plan is not None
+        candidates = candidate_pairs(self.plan, patterns, self.model, self.q)
+        self.candidates_generated = len(candidates)
         out: List[FTViolation] = []
-        self.pairs_examined = 0
-        self.pairs_filtered = 0
-        lhs, rhs = self.fd.lhs, self.fd.rhs
+        model, fd, tau = self.model, self.fd, self.tau
+        for i, j in candidates:
+            self.pairs_examined += 1
+            left, right = patterns[i], patterns[j]
+            if _length_lower_bound(model, fd, left.values, right.values) > tau:
+                self.pairs_filtered += 1
+                continue
+            self.pairs_verified += 1
+            dist = projection_distance_within_banded(
+                model, fd, left.values, right.values, tau
+            )
+            if dist is not None:
+                out.append(FTViolation(left, right, dist))
+        return out
+
+    def _join_scan(self, patterns: Sequence[Pattern]) -> List[FTViolation]:
+        """The quadratic pair scan shared by naive/filtered/qgram."""
+        out: List[FTViolation] = []
+        naive = self.strategy == "naive"
+        qgram = self.strategy == "qgram"
+        model, fd, tau = self.model, self.fd, self.tau
+        lhs, rhs = fd.lhs, fd.rhs
         for i, left in enumerate(patterns):
             for right in patterns[i + 1 :]:
                 self.pairs_examined += 1
-                if self.strategy == "naive":
+                if naive:
                     # genuinely unfiltered: full Eq. (2), then compare
-                    dist = self.model.projection_distance(
+                    self.pairs_verified += 1
+                    dist = model.projection_distance(
                         lhs, rhs, left.values, right.values
                     )
-                    if dist <= self.tau:
+                    if dist <= tau:
                         out.append(FTViolation(left, right, dist))
                     continue
-                if self.strategy == "qgram" and self._qgram_reject(
-                    left.values, right.values
-                ):
+                if _length_lower_bound(model, fd, left.values, right.values) > tau:
                     self.pairs_filtered += 1
                     continue
+                if qgram and self._qgram_reject(left.values, right.values):
+                    self.pairs_filtered += 1
+                    continue
+                self.pairs_verified += 1
                 dist = projection_distance_within(
-                    self.model,
-                    self.fd,
+                    model,
+                    fd,
                     left.values,
                     right.values,
-                    self.tau,
-                    use_filters=True,
+                    tau,
+                    use_filters=False,
                 )
                 if dist is not None:
                     out.append(FTViolation(left, right, dist))
+        self.candidates_generated = self.pairs_examined
         return out

@@ -1,0 +1,158 @@
+"""Unit tests for the candidate-generation blocker planner."""
+
+import pytest
+
+from repro.core.constraints import FD
+from repro.core.distances import DistanceModel, Weights, levenshtein
+from repro.core.violation import ft_violation_pairs, group_patterns
+from repro.dataset.relation import Relation, Schema
+from repro.index.blocking import (
+    BlockPlan,
+    QGramPrefixIndex,
+    candidate_pairs,
+    plan_blocker,
+)
+
+
+def _setup(rows, columns=("K", "V"), numeric=(), weights=None):
+    schema = Schema.of(*columns, numeric=numeric)
+    relation = Relation(schema, rows)
+    fd = FD.parse(f"{columns[0]} -> {columns[1]}")
+    model = DistanceModel(relation, weights=weights or Weights())
+    patterns = group_patterns(relation, fd)
+    return relation, fd, model, patterns
+
+
+def _violating_index_pairs(patterns, fd, model, tau):
+    """Reference: pattern-index pairs within tau, from the naive join."""
+    by_values = {p.values: i for i, p in enumerate(patterns)}
+    return {
+        (by_values[v.left.values], by_values[v.right.values])
+        for v in ft_violation_pairs(patterns, fd, model, tau)
+    }
+
+
+class TestPlanSelection:
+    def test_tiny_tau_yields_exact_partitions(self):
+        rows = [(f"key-{i:03d}", f"val-{i:03d}") for i in range(40)]
+        _, fd, model, patterns = _setup(rows)
+        # tau below one normalized edit on every attribute: any
+        # difference exceeds it, so exact partitioning is sound
+        plan = plan_blocker(fd, model, 0.01, patterns)
+        assert plan.kind == "block"
+        assert {b.kind for b in plan.blockers} == {"exact"}
+
+    def test_numeric_attribute_gets_band_blocker(self):
+        rows = [(f"key-{i:03d}", float(i)) for i in range(40)]
+        _, fd, model, patterns = _setup(rows, numeric=("V",))
+        plan = plan_blocker(fd, model, 0.2, patterns)
+        assert plan.kind == "block"
+        assert any(b.kind == "band" for b in plan.blockers)
+
+    def test_string_attribute_gets_qgram_blocker(self):
+        rows = [(f"alpha-key-{i:04d}", f"v{i % 3}") for i in range(60)]
+        _, fd, model, patterns = _setup(rows)
+        # ~0.5 weight, 14-char keys: tau 0.1 allows ~2 edits on K, so an
+        # exact partition is unsound there and a q-gram blocker must run
+        plan = plan_blocker(fd, model, 0.1, patterns)
+        assert plan.kind == "block"
+        kinds = {b.kind for b in plan.blockers}
+        assert "qgram" in kinds or kinds == {"exact"}
+
+    def test_scan_fallback_when_tau_huge(self):
+        rows = [(f"k{i}", f"v{i}") for i in range(10)]
+        _, fd, model, patterns = _setup(rows)
+        # tau near the weight sum: every blocker vacuous -> scan
+        plan = plan_blocker(fd, model, 0.99, patterns)
+        assert plan.kind == "scan"
+        assert plan.estimate == len(patterns) * (len(patterns) - 1) // 2
+
+    def test_scan_for_degenerate_inputs(self):
+        rows = [("only", "one")]
+        _, fd, model, patterns = _setup(rows)
+        assert plan_blocker(fd, model, 0.3, patterns).kind == "scan"
+
+    def test_weight_zero_attribute_never_blocks(self):
+        rows = [(f"key-{i:03d}", "same") for i in range(20)]
+        _, fd, model, patterns = _setup(rows, weights=Weights(0.0, 1.0))
+        plan = plan_blocker(fd, model, 0.1, patterns)
+        # only V carries weight, and V is constant: intra-partition only
+        for blocker in plan.blockers:
+            assert blocker.attribute == "V"
+
+    def test_candidate_pairs_rejects_scan_plan(self):
+        rows = [("a", "b"), ("c", "d")]
+        _, fd, model, patterns = _setup(rows)
+        with pytest.raises(ValueError):
+            candidate_pairs(BlockPlan(kind="scan"), patterns, model)
+
+
+class TestSoundness:
+    """A block plan's candidates must cover every true violation."""
+
+    def _assert_covers(self, rows, tau, numeric=(), weights=None):
+        _, fd, model, patterns = _setup(rows, numeric=numeric,
+                                        weights=weights)
+        plan = plan_blocker(fd, model, tau, patterns)
+        truth = _violating_index_pairs(patterns, fd, model, tau)
+        if plan.kind == "scan":
+            return  # the scan trivially covers everything
+        emitted = set(candidate_pairs(plan, patterns, model))
+        missing = truth - emitted
+        assert not missing, f"plan {plan.describe()} dropped {missing}"
+
+    def test_string_typos_covered(self):
+        rows = [(f"silver-key-{i:03d}", f"name-{i:03d}") for i in range(30)]
+        rows += [("silver-key-001x", "name-001"),  # 1-edit LHS typo
+                 ("silver-key-002", "nzme-002")]   # 1-edit RHS typo
+        for tau in (0.05, 0.1, 0.25, 0.4):
+            self._assert_covers(rows, tau)
+
+    def test_numeric_band_covered(self):
+        rows = [(f"key-{i:02d}", float(i * 10)) for i in range(25)]
+        rows += [("key-01x", 10.5), ("key-02", 19.9)]
+        for tau in (0.05, 0.2, 0.45):
+            self._assert_covers(rows, tau, numeric=("V",))
+
+    def test_skewed_weights_covered(self):
+        rows = [(f"key-{i:02d}", f"val-{i:02d}") for i in range(25)]
+        rows += [("key-01", "val-99"), ("kex-02", "val-02")]
+        for weights in (Weights(0.2, 0.8), Weights(0.8, 0.2)):
+            for tau in (0.1, 0.3):
+                self._assert_covers(rows, tau, weights=weights)
+
+    def test_estimate_matches_emission_for_union(self):
+        rows = [(f"maple-key-{i:03d}", f"leaf-{i:03d}") for i in range(40)]
+        _, fd, model, patterns = _setup(rows)
+        plan = plan_blocker(fd, model, 0.15, patterns)
+        if plan.kind != "block":
+            pytest.skip("planner chose scan at this scale")
+        emitted = candidate_pairs(plan, patterns, model)
+        # per-blocker estimates are exact, the union deduplicates, so
+        # the emitted count never exceeds the estimate
+        assert len(emitted) <= plan.estimate
+
+
+class TestQGramPrefixIndex:
+    def test_emits_all_pairs_within_budget(self):
+        values = ["kitten", "sitten", "sitting", "mitten", "banana",
+                  "bananas", "cabana"]
+        ratio = 0.34  # ~2 edits on 6-7 char values
+        index = QGramPrefixIndex(values, ratio, q=2)
+        raw = index.candidate_value_pairs()
+        for i, a in enumerate(values):
+            for j in range(i + 1, len(values)):
+                b = values[j]
+                k = index.budget(len(a), len(b))
+                if levenshtein(a, b) <= k:
+                    assert (i, j) in raw, (a, b)
+
+    def test_budget_uses_longer_length(self):
+        index = QGramPrefixIndex(["abcd", "abcdefgh"], 0.25, q=2)
+        assert index.budget(4, 8) == 2
+        assert index.budget(4, 4) == 1
+
+    def test_length_gap_pruning(self):
+        # lengths 3 and 9 at ratio 0.34: budget floor(0.34*9)=3 < gap 6
+        index = QGramPrefixIndex(["abc", "abcdefghi"], 0.34, q=2)
+        assert (0, 1) not in index.candidate_value_pairs()

@@ -118,3 +118,31 @@ class TestRun:
              "--algorithm", "exact-s", "--dry-run"]
         )
         assert code == 0
+
+    @pytest.mark.parametrize(
+        "strategy", ["naive", "filtered", "qgram", "indexed"]
+    )
+    def test_simjoin_strategy_flag(self, csv_path, capsys, strategy):
+        code = main(
+            [str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+             "--simjoin-strategy", strategy, "--report", "--dry-run"]
+        )
+        assert code == 0
+        # every strategy detects the same typo and proposes the same fix
+        out = capsys.readouterr().out
+        assert "espresso-oen" in out and "espresso-one" in out
+
+    def test_unknown_simjoin_strategy_exits(self, csv_path):
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--fd", "sku -> product",
+                  "--simjoin-strategy", "hash-blocking"])
+
+    def test_stats_prints_detection_counters(self, csv_path, capsys):
+        code = main(
+            [str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+             "--stats", "--dry-run"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detection (indexed):" in out
+        assert "pairs_examined" in out

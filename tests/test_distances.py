@@ -8,6 +8,8 @@ from repro.core.distances import (
     Weights,
     jaccard_distance,
     levenshtein,
+    levenshtein_banded,
+    levenshtein_two_row,
     normalized_edit_distance,
     normalized_euclidean,
     qgrams,
@@ -68,6 +70,75 @@ class TestLevenshtein:
             assert banded == exact
         else:
             assert banded > bound
+
+
+class TestLevenshteinBanded:
+    """The Ukkonen kernel's early-abort contract vs the two-row DP."""
+
+    @pytest.mark.parametrize(
+        "a,b,k,expected",
+        [
+            ("kitten", "sitting", 5, 3),
+            ("kitten", "sitting", 3, 3),
+            ("kitten", "sitting", 2, 3),  # overflow: k + 1
+            ("abcdef", "uvwxyz", 2, 3),
+            ("", "abc", 3, 3),
+            ("", "abc", 2, 3),  # length gap alone overflows
+            ("same", "same", 0, 0),
+            ("a", "b", 0, 1),  # distinct under k=0 -> 1 (= k + 1)
+        ],
+    )
+    def test_contract_cases(self, a, b, k, expected):
+        assert levenshtein_banded(a, b, k) == expected
+
+    def test_negative_budget(self):
+        assert levenshtein_banded("x", "y", -1) == 1
+        assert levenshtein_banded("x", "x", -1) == 0
+
+    @given(words, words, st.integers(0, 8))
+    def test_property_matches_two_row(self, a, b, k):
+        """Exact when <= k, strictly above k otherwise — always."""
+        exact = levenshtein_two_row(a, b)
+        banded = levenshtein_banded(a, b, k)
+        if exact <= k:
+            assert banded == exact
+        else:
+            assert banded > k
+
+    @given(words, words, st.integers(0, 8))
+    def test_symmetry(self, a, b, k):
+        assert levenshtein_banded(a, b, k) == levenshtein_banded(b, a, k)
+
+
+@pytest.mark.slow
+class TestBandedKernelMicrobench:
+    """pytest-benchmark: banded kernel vs the full two-row DP.
+
+    Long near-identical strings with a tight budget is the indexed
+    verify step's regime: the band materializes O(k*n) cells instead of
+    O(n^2), so the kernel should win clearly while returning identical
+    results under the early-abort contract.
+    """
+
+    A = ("the-hospital-measure-code-" * 8)[:200]
+    B = A[:100] + "X" + A[101:198] + "yz"  # 3 scattered edits
+
+    def test_two_row_baseline(self, benchmark):
+        result = benchmark(levenshtein_two_row, self.A, self.B)
+        assert result == 3
+
+    def test_banded_kernel(self, benchmark):
+        result = benchmark(levenshtein_banded, self.A, self.B, 5)
+        assert result == 3
+
+    def test_identical_results_under_contract(self):
+        for k in range(0, 10):
+            exact = levenshtein_two_row(self.A, self.B)
+            banded = levenshtein_banded(self.A, self.B, k)
+            if exact <= k:
+                assert banded == exact
+            else:
+                assert banded > k
 
 
 class TestNormalizedEdit:

@@ -183,7 +183,8 @@ class TestEndToEnd:
 
 
 class TestJoinStrategyThroughEngine:
-    @pytest.mark.parametrize("strategy", ["naive", "filtered", "qgram"])
+    @pytest.mark.parametrize("strategy", ["naive", "filtered", "qgram",
+                                          "indexed"])
     def test_strategies_produce_identical_repairs(
         self, strategy, citizens, citizens_fds, citizens_thresholds
     ):
@@ -198,6 +199,38 @@ class TestJoinStrategyThroughEngine:
         assert {(e.cell, e.new) for e in other.edits} == {
             (e.cell, e.new) for e in reference.edits
         }
+
+    def test_strategies_byte_identical_repaired_relations(
+        self, citizens, citizens_fds, citizens_thresholds
+    ):
+        """Not just the same edit set: identical rows, costs and order."""
+        outputs = []
+        for strategy in ("naive", "filtered", "qgram", "indexed"):
+            result = Repairer(
+                citizens_fds, algorithm="greedy-m",
+                thresholds=citizens_thresholds, join_strategy=strategy,
+            ).repair(citizens)
+            outputs.append(
+                (
+                    [tuple(result.relation.row(t))
+                     for t in result.relation.tids()],
+                    [(e.cell, e.old, e.new) for e in result.edits],
+                    result.cost,
+                )
+            )
+        assert all(output == outputs[0] for output in outputs[1:])
+
+    def test_simjoin_strategy_alias_accepted(self, citizens, citizens_fds,
+                                             citizens_thresholds):
+        repairer = Repairer(
+            citizens_fds, thresholds=citizens_thresholds,
+            simjoin_strategy="naive",
+        )
+        assert repairer.join_strategy == "naive"
+        assert repairer.simjoin_strategy == "naive"
+
+    def test_default_strategy_is_indexed(self, citizens_fds):
+        assert Repairer(citizens_fds).join_strategy == "indexed"
 
     def test_unknown_strategy_raises_at_repair(self, citizens, citizens_fds,
                                                citizens_thresholds):

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.constraints import FD
-from repro.core.distances import DistanceModel
+from repro.core.distances import DistanceModel, Weights
 from repro.core.violation import group_patterns
 from repro.dataset.relation import Relation, Schema
 from repro.index.simjoin import STRATEGIES, SimilarityJoin
@@ -60,6 +60,15 @@ class TestStrategies:
         assert len(pairs) == join.pairs_examined
 
 
+def _exact_violation_list(relation, fd, model, tau, strategy):
+    """(left, right, distance) triples, in emission order."""
+    join = SimilarityJoin(fd, model, tau, strategy=strategy)
+    return [
+        (v.left.values, v.right.values, v.distance)
+        for v in join.join(group_patterns(relation, fd))
+    ]
+
+
 @settings(deadline=None, max_examples=40)
 @given(
     rows=st.lists(
@@ -87,4 +96,97 @@ def test_property_strategies_identical_on_random_relations(rows, tau):
                 for v in join.join(patterns)
             }
         )
-    assert results[0] == results[1] == results[2]
+    assert all(result == results[0] for result in results[1:])
+
+
+class TestIndexedEquivalence:
+    """The indexed strategy must match naive exactly: pairs, distances,
+    and emission order — including every degenerate regime."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.text("abc", min_size=0, max_size=7),  # empty strings in
+                st.text("xyz", min_size=0, max_size=5),
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+        tau=st.floats(0.0, 1.1),
+        w_lhs=st.sampled_from([0.0, 0.3, 0.5, 1.0]),  # weight-0 attrs in
+    )
+    def test_random_string_relations(self, rows, tau, w_lhs):
+        relation = Relation(Schema.of("City", "State"), rows)
+        fd = FD.parse("City -> State")
+        model = DistanceModel(
+            relation, weights=Weights(w_lhs, round(1.0 - w_lhs, 12))
+        )
+        reference = _exact_violation_list(relation, fd, model, tau, "naive")
+        indexed = _exact_violation_list(relation, fd, model, tau, "indexed")
+        assert indexed == reference
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.floats(-50, 50).map(lambda f: round(f, 2)),
+                st.floats(0, 10).map(lambda f: round(f, 2)),
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+        tau=st.floats(0.0, 1.1),
+    )
+    def test_random_all_numeric_relations(self, rows, tau):
+        schema = Schema.of("A", "B", numeric=("A", "B"))
+        relation = Relation(schema, rows)
+        fd = FD.parse("A -> B")
+        model = DistanceModel(relation)
+        reference = _exact_violation_list(relation, fd, model, tau, "naive")
+        indexed = _exact_violation_list(relation, fd, model, tau, "indexed")
+        assert indexed == reference
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.text("pqr", min_size=1, max_size=6),
+                st.floats(-20, 20).map(lambda f: round(f, 1)),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        tau=st.floats(0.0, 0.9),
+    )
+    def test_random_mixed_relations(self, rows, tau):
+        schema = Schema.of("Name", "Score", numeric=("Score",))
+        relation = Relation(schema, rows)
+        fd = FD.parse("Name -> Score")
+        model = DistanceModel(relation)
+        reference = _exact_violation_list(relation, fd, model, tau, "naive")
+        indexed = _exact_violation_list(relation, fd, model, tau, "indexed")
+        assert indexed == reference
+
+    def test_tau_zero(self, citizens, citizens_model, fd):
+        assert _exact_violation_list(
+            citizens, fd, citizens_model, 0.0, "indexed"
+        ) == _exact_violation_list(citizens, fd, citizens_model, 0.0, "naive")
+
+    def test_indexed_counters_are_consistent(self, citizens, citizens_model,
+                                             fd):
+        join = SimilarityJoin(fd, citizens_model, 0.55, strategy="indexed")
+        join.join(group_patterns(citizens, fd))
+        assert join.candidates_generated == join.pairs_examined
+        assert join.pairs_examined == join.pairs_filtered + join.pairs_verified
+        assert join.pairs_examined <= join.possible_pairs
+        assert 0.0 <= join.reduction_ratio <= 1.0
+        counters = join.counters()
+        assert counters["possible_pairs"] == join.possible_pairs
+        assert counters["blocker"] is not None  # scan or a blocker label
+
+    def test_naive_never_filters(self, citizens, citizens_model, fd):
+        join = SimilarityJoin(fd, citizens_model, 0.55, strategy="naive")
+        join.join(group_patterns(citizens, fd))
+        assert join.pairs_filtered == 0
+        assert join.pairs_verified == join.pairs_examined == join.possible_pairs

@@ -1,0 +1,136 @@
+"""CI gate over the bit-parallel distance kernel.
+
+Two checks, run from the repository root::
+
+    python benchmarks/check_kernel_gate.py
+
+1. **Speedup floor** — a 200-character microbench must show the Myers
+   bit-parallel kernel at least 2x faster than the two-row DP. The
+   bit-parallel column update is O(ceil(m/w)) big-int words against the
+   DP's O(m) inner loop, so anything under 2x on 200-character strings
+   means the kernel has regressed into scalar behaviour.
+2. **Equivalence suite ran** — the differential suite
+   ``tests/test_kernels.py`` is executed and must pass with **zero
+   skips**: a skipped kernel-equivalence test would let a wrong kernel
+   through on green CI.
+
+Exit status 0 on pass, 1 on failure, 2 when the environment cannot run
+the checks (missing pytest, missing test file).
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TEST_FILE = ROOT / "tests" / "test_kernels.py"
+MIN_SPEEDUP = 2.0
+STRING_LENGTH = 200
+PAIRS = 60
+ROUNDS = 3
+
+
+def _workload(rng_seed: int = 9) -> list:
+    """Deterministic 200-character string pairs with scattered edits."""
+    import random
+
+    rng = random.Random(rng_seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    pairs = []
+    for _ in range(PAIRS):
+        left = "".join(rng.choice(alphabet) for _ in range(STRING_LENGTH))
+        chars = list(left)
+        for _ in range(rng.randrange(1, 12)):
+            pos = rng.randrange(len(chars))
+            chars[pos] = rng.choice(alphabet)
+        pairs.append((left, "".join(chars)))
+    return pairs
+
+
+def _time_kernel(fn, pairs) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for a, b in pairs:
+            fn(a, b)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_speedup() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.core.distances import levenshtein_myers, levenshtein_two_row
+
+    pairs = _workload()
+    # warm-up + correctness spot check before timing
+    for a, b in pairs[:5]:
+        assert levenshtein_myers(a, b) == levenshtein_two_row(a, b)
+    myers = _time_kernel(levenshtein_myers, pairs)
+    two_row = _time_kernel(levenshtein_two_row, pairs)
+    speedup = two_row / myers if myers > 0 else float("inf")
+    print(
+        f"gate: {PAIRS} pairs of {STRING_LENGTH}-char strings — "
+        f"myers {myers * 1e3:.1f}ms, two_row {two_row * 1e3:.1f}ms, "
+        f"speedup {speedup:.1f}x (floor {MIN_SPEEDUP}x)"
+    )
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"gate: FAIL — Myers kernel below the {MIN_SPEEDUP}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_equivalence_suite() -> int:
+    if not TEST_FILE.exists():
+        print(f"gate: {TEST_FILE} not found", file=sys.stderr)
+        return 2
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(TEST_FILE), "-q", "-rs",
+         "-p", "no:cacheprovider"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env={**__import__("os").environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    print(f"gate: equivalence suite — {tail}")
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        print("gate: FAIL — kernel equivalence suite failed", file=sys.stderr)
+        return 1
+    if re.search(r"\bskipped\b", proc.stdout):
+        sys.stderr.write(proc.stdout)
+        print(
+            "gate: FAIL — kernel equivalence tests were skipped; the "
+            "differential suite must actually run",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main() -> int:
+    try:
+        status = check_speedup()
+    except ImportError as exc:
+        print(f"gate: cannot import the distance layer: {exc}",
+              file=sys.stderr)
+        return 2
+    suite = check_equivalence_suite()
+    if suite == 2 or status == 2:
+        return 2
+    if status or suite:
+        return 1
+    print("gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

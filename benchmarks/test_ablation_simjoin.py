@@ -23,7 +23,7 @@ import pytest
 
 from _harness import SCALE, record_custom
 from repro.core.constraints import FD
-from repro.core.distances import DistanceModel, Weights
+from repro.core.distances import KERNELS, DistanceModel, Weights, use_kernel
 from repro.core.violation import group_patterns
 from repro.dataset.relation import Relation, Schema
 from repro.eval.metrics import RepairQuality
@@ -31,6 +31,7 @@ from repro.eval.runner import Trial
 from repro.generator.hosp import HOSP_FDS, generate_hosp, hosp_thresholds
 from repro.generator.noise import NoiseConfig, inject_noise
 from repro.generator.vocab import build_vocabulary
+from repro.index.registry import AttributeIndexRegistry
 from repro.index.simjoin import STRATEGIES, SimilarityJoin
 from repro.utils.rng import make_rng
 
@@ -122,58 +123,86 @@ def _noisy_hosp_workload():
 def test_hosp_slice_trajectory(benchmark):
     relation, weights, thresholds, patterns = _noisy_hosp_workload()
 
+    def detect_all_fds(strategy):
+        """One full-FD detection pass; fresh model, shared registry."""
+        # fresh model per run: the distance cache must not leak between
+        # runs or later ones get a free ride
+        model = DistanceModel(relation, weights=weights)
+        registry = AttributeIndexRegistry()  # shared across the FDs
+        counters = {
+            "possible_pairs": 0,
+            "candidates_generated": 0,
+            "pairs_examined": 0,
+            "pairs_filtered": 0,
+            "pairs_verified": 0,
+            "kernel_calls": 0,
+            "index_builds": 0,
+            "index_reuses": 0,
+        }
+        out = []
+        start = time.perf_counter()
+        for fd in HOSP_FDS:
+            join = SimilarityJoin(
+                fd, model, thresholds[fd], strategy=strategy,
+                registry=registry,
+            )
+            out.append(
+                [
+                    (v.left.values, v.right.values, v.distance)
+                    for v in join.join(patterns[fd])
+                ]
+            )
+            for key in counters:
+                counters[key] += getattr(join, key)
+        counters["seconds"] = round(time.perf_counter() - start, 4)
+        return counters, out
+
     def run_all():
         runs = {}
         violations = {}
         for strategy in STRATEGIES:
-            # fresh model per strategy: the distance cache must not
-            # leak between strategies or later ones get a free ride
-            model = DistanceModel(relation, weights=weights)
-            counters = {
-                "possible_pairs": 0,
-                "candidates_generated": 0,
-                "pairs_examined": 0,
-                "pairs_filtered": 0,
-                "pairs_verified": 0,
+            runs[strategy], violations[strategy] = detect_all_fds(strategy)
+        # kernel sweep: the indexed strategy under every kernel must
+        # produce the identical violation list
+        kernels = {}
+        kernel_violations = {}
+        for kernel in KERNELS:
+            with use_kernel(kernel):
+                counters, out = detect_all_fds("indexed")
+            kernels[kernel] = {
+                "seconds": counters["seconds"],
+                "kernel_calls": counters["kernel_calls"],
             }
-            out = []
-            start = time.perf_counter()
-            for fd in HOSP_FDS:
-                join = SimilarityJoin(
-                    fd, model, thresholds[fd], strategy=strategy
-                )
-                out.append(
-                    [
-                        (v.left.values, v.right.values, v.distance)
-                        for v in join.join(patterns[fd])
-                    ]
-                )
-                for key in counters:
-                    counters[key] += getattr(join, key)
-            counters["seconds"] = round(time.perf_counter() - start, 4)
-            runs[strategy] = counters
-            violations[strategy] = out
-        return runs, violations
+            kernel_violations[kernel] = out
+        return runs, violations, kernels, kernel_violations
 
-    runs, violations = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    runs, violations, kernels, kernel_violations = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
 
     # every strategy returns the identical violation list, distances and
-    # order included
+    # order included — and so does every kernel
     reference = violations["naive"]
     for strategy in STRATEGIES[1:]:
         assert violations[strategy] == reference, strategy
+    for kernel, out in kernel_violations.items():
+        assert out == reference, kernel
 
     # the blocker must not examine more pairs than the filtered scan
     assert (
         runs["indexed"]["pairs_examined"] <= runs["filtered"]["pairs_examined"]
     )
+    # the shared registry must actually reuse its per-attribute indexes
+    assert runs["indexed"]["index_reuses"] > 0
 
     entry = {
         "scale": SCALE,
         "n_tuples": HOSP_SLICE_N,
         "n_fds": len(HOSP_FDS),
+        "kernel": "myers",
         "possible_pairs": runs["naive"]["possible_pairs"],
         "strategies": runs,
+        "kernels": kernels,
         "indexed_verified_fraction": round(
             runs["indexed"]["pairs_verified"]
             / max(1, runs["naive"]["possible_pairs"]),

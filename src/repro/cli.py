@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.constraints import FD
 from repro.core.engine import ALGORITHMS, Repairer
-from repro.core.distances import Weights
+from repro.core.distances import KERNELS, Weights, set_default_kernel
 from repro.dataset.csvio import read_csv, write_csv
 from repro.exec import RepairConfig
 from repro.index.simjoin import STRATEGIES
@@ -87,6 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="myers",
+        help=(
+            "Levenshtein kernel (default: myers — bit-parallel; all "
+            "kernels return identical repairs)"
+        ),
+    )
+    parser.add_argument(
         "--n-jobs",
         type=int,
         default=1,
@@ -137,6 +146,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not 0.0 <= args.lhs_weight <= 1.0:
         parser.error("--lhs-weight must be in [0, 1]")
 
+    set_default_kernel(args.kernel)
+
     try:
         relation = read_csv(args.input, numeric=args.numeric)
     except (OSError, ValueError) as exc:
@@ -151,6 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ),
             thresholds=args.tau,
             join_strategy=args.simjoin_strategy,
+            kernel=args.kernel,
             fallback="greedy",
             n_jobs=args.n_jobs,
             component_budget=args.component_budget,

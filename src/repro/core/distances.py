@@ -24,12 +24,59 @@ many times during graph construction and repair search).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, MutableMapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.dataset.relation import NUMERIC, Relation, Schema
 
 DistanceFn = Callable[[Any, Any], float]
+
+#: the selectable Levenshtein kernels, fastest first
+KERNELS = ("myers", "banded", "two_row")
+
+#: the kernel :func:`levenshtein` dispatches to (see :func:`use_kernel`)
+_DEFAULT_KERNEL = "myers"
+
+
+def default_kernel() -> str:
+    """The kernel name :func:`levenshtein` currently dispatches to."""
+    return _DEFAULT_KERNEL
+
+
+def set_default_kernel(name: str) -> None:
+    """Select the Levenshtein kernel globally (``myers`` is the default).
+
+    All kernels are exact under the same early-abort contract, so the
+    choice affects wall clock only — repairs and violation sets are
+    byte-identical for every kernel (asserted by the differential suite
+    in ``tests/test_kernels.py`` and the HOSP-slice bench).
+    """
+    global _DEFAULT_KERNEL
+    if name not in KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; expected one of {KERNELS}")
+    _DEFAULT_KERNEL = name
+
+
+@contextmanager
+def use_kernel(name: str) -> Iterator[None]:
+    """Temporarily switch the default kernel (differential benches)."""
+    previous = _DEFAULT_KERNEL
+    set_default_kernel(name)
+    try:
+        yield
+    finally:
+        set_default_kernel(previous)
 
 
 # ----------------------------------------------------------------------
@@ -44,9 +91,11 @@ def levenshtein(a: str, b: str, upper_bound: Optional[int] = None) -> int:
     This is the workhorse of FT-violation detection, where only pairs
     below a threshold matter.
 
-    Bounded calls are routed to the banded :func:`levenshtein_banded`
-    kernel — O(upper_bound * min(len)) instead of the O(len_a * len_b)
-    two-row dynamic program; unbounded calls use the full DP.
+    Dispatches to the kernel selected by :func:`set_default_kernel` /
+    :func:`use_kernel`: Myers' bit-parallel scan by default
+    (:func:`levenshtein_myers`), the banded DP for bounded calls under
+    the ``banded`` kernel, or the classic two-row DP. All kernels
+    return identical values within the bound.
 
     >>> levenshtein("Boston", "Boton")
     1
@@ -55,9 +104,138 @@ def levenshtein(a: str, b: str, upper_bound: Optional[int] = None) -> int:
     >>> levenshtein("abcdef", "uvwxyz", upper_bound=2)
     3
     """
-    if upper_bound is not None:
+    kernel = _DEFAULT_KERNEL
+    if kernel == "myers":
+        return levenshtein_myers(a, b, upper_bound)
+    if kernel == "banded" and upper_bound is not None:
         return levenshtein_banded(a, b, upper_bound)
-    return levenshtein_two_row(a, b)
+    return levenshtein_two_row(a, b, upper_bound)
+
+
+class PreparedKernel:
+    """Myers' bit-parallel Levenshtein with the left string fixed.
+
+    The PEQ table (one bitmask of positions per distinct character of
+    the pattern) is built once here and reused by every
+    :meth:`compare` — the *one-vs-many* shape of blocker settlement,
+    candidate verification, target-tree search and the greedy cost
+    loops, which all compare one value against many.
+
+    Python ints serve as arbitrary-width bitvectors, so patterns longer
+    than a machine word need no explicit multi-word loop: the column
+    update runs in O(⌈m/w⌉) big-int word operations per text character
+    (Myers, JACM 1999), against the O(m) inner loop of the DP kernels.
+    """
+
+    __slots__ = ("text", "length", "_peq", "_full", "_last")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.length = len(text)
+        peq: Dict[str, int] = {}
+        bit = 1
+        for ch in text:
+            peq[ch] = peq.get(ch, 0) | bit
+            bit <<= 1
+        self._peq = peq
+        self._full = bit - 1  # (1 << m) - 1: masks Python's infinite ~
+        self._last = bit >> 1  # the bit tracking row m
+
+    def compare(self, other: str, upper_bound: Optional[int] = None) -> int:
+        """Edit distance to *other*; same contract as :func:`levenshtein`.
+
+        The score after text column ``j`` is ``D[m][j]``, which moves by
+        at most one per column, so under a bound the scan aborts as soon
+        as ``score - (columns left) > upper_bound``.
+        """
+        text = self.text
+        if text == other:
+            return 0
+        m = self.length
+        n = len(other)
+        bound = upper_bound
+        if bound is not None:
+            if bound < 0:
+                return 1  # distinct strings differ by at least one edit
+            if (m - n if m > n else n - m) > bound:
+                return bound + 1
+        if m == 0:
+            return n  # within the bound: the length gap was checked
+        if n == 0:
+            return m
+        peq_get = self._peq.get
+        full = self._full
+        last = self._last
+        pv = full
+        mv = 0
+        score = m
+        if bound is None:
+            for ch in other:
+                eq = peq_get(ch, 0)
+                xv = eq | mv
+                xh = (((eq & pv) + pv) ^ pv) | eq
+                ph = mv | (full & ~(xh | pv))
+                mh = pv & xh
+                if ph & last:
+                    score += 1
+                elif mh & last:
+                    score -= 1
+                ph = ((ph << 1) | 1) & full
+                mh = (mh << 1) & full
+                pv = mh | (full & ~(xv | ph))
+                mv = ph & xv
+            return score
+        remaining = n
+        for ch in other:
+            remaining -= 1
+            eq = peq_get(ch, 0)
+            xv = eq | mv
+            xh = (((eq & pv) + pv) ^ pv) | eq
+            ph = mv | (full & ~(xh | pv))
+            mh = pv & xh
+            if ph & last:
+                score += 1
+            elif mh & last:
+                score -= 1
+            ph = ((ph << 1) | 1) & full
+            mh = (mh << 1) & full
+            pv = mh | (full & ~(xv | ph))
+            mv = ph & xv
+            if score - remaining > bound:
+                return bound + 1
+        return score if score <= bound else bound + 1
+
+
+class DistanceKernel:
+    """The one-vs-many kernel API: ``prepare(left)`` then ``compare``.
+
+    ``DistanceKernel.prepare(left)`` returns a :class:`PreparedKernel`
+    whose ``compare(right, upper_bound=None)`` reuses the PEQ bitmask
+    table across every right-hand candidate. Pairwise convenience:
+    :func:`levenshtein_myers`.
+    """
+
+    @staticmethod
+    def prepare(left: str) -> PreparedKernel:
+        return PreparedKernel(left)
+
+
+def levenshtein_myers(a: str, b: str, upper_bound: Optional[int] = None) -> int:
+    """Myers' bit-parallel edit distance (pairwise convenience form).
+
+    Same early-abort contract as :func:`levenshtein`. The shorter string
+    becomes the pattern so the bitvectors stay narrow. For one-vs-many
+    workloads prefer :meth:`DistanceKernel.prepare`, which amortizes the
+    PEQ table over all comparisons.
+
+    >>> levenshtein_myers("kitten", "sitting")
+    3
+    >>> levenshtein_myers("abcdef", "uvwxyz", upper_bound=2)
+    3
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    return PreparedKernel(a).compare(b, upper_bound)
 
 
 def levenshtein_two_row(a: str, b: str, upper_bound: Optional[int] = None) -> int:
@@ -65,20 +243,26 @@ def levenshtein_two_row(a: str, b: str, upper_bound: Optional[int] = None) -> in
 
     Same early-abort contract as :func:`levenshtein`: exact whenever the
     result is ``<= upper_bound``, some value ``> upper_bound`` otherwise.
-    Kept callable directly so the banded kernel can be benchmarked and
-    differentially tested against it.
+    Kept callable directly so the bit-parallel and banded kernels can be
+    benchmarked and differentially tested against it.
     """
     if a == b:
         return 0
     la, lb = len(a), len(b)
+    if la > lb:  # keep the inner loop over the shorter string
+        a, b, la, lb = b, a, lb, la
+    if upper_bound is not None:
+        # Bound checks come before the empty-string returns so the
+        # degenerate corners (empty vs long, negative bounds) honor the
+        # "exact iff result <= upper_bound" contract like every kernel.
+        if upper_bound < 0:
+            return 1  # distinct strings differ by at least one edit
+        if lb - la > upper_bound:
+            return upper_bound + 1
     if la == 0:
         return lb
     if lb == 0:
         return la
-    if la > lb:  # keep the inner loop over the shorter string
-        a, b, la, lb = b, a, lb, la
-    if upper_bound is not None and lb - la > upper_bound:
-        return upper_bound + 1
 
     previous = list(range(la + 1))
     current = [0] * (la + 1)
@@ -306,6 +490,12 @@ class DistanceModel:
             self._cache = cache
         self.cache_hits = 0
         self.cache_misses = 0
+        #: edit-distance kernel invocations (cache misses that reached a
+        #: string kernel); feeds the ``kernel_calls`` execution counter
+        self.kernel_calls = 0
+        # interned Myers preparations: identical strings (across
+        # attributes, FDs and probe directions) share one PEQ table
+        self._prepared: Dict[str, PreparedKernel] = {}
 
     @classmethod
     def from_parts(
@@ -337,6 +527,30 @@ class DistanceModel:
         return dict(self._spreads)
 
     # ------------------------------------------------------------------
+    def _prepared_kernel(self, text: str) -> PreparedKernel:
+        """The interned Myers preparation for *text* (built once)."""
+        prepared = self._prepared.get(text)
+        if prepared is None:
+            prepared = PreparedKernel(text)
+            self._prepared[text] = prepared
+        return prepared
+
+    def _string_distance(self, a: str, b: str) -> float:
+        """Normalized edit distance through the active kernel."""
+        if a == b:
+            return 0.0
+        longest = max(len(a), len(b))
+        if longest == 0:
+            return 0.0
+        self.kernel_calls += 1
+        if _DEFAULT_KERNEL == "myers":
+            if len(a) > len(b):
+                a, b = b, a
+            edits = self._prepared_kernel(a).compare(b)
+        else:
+            edits = levenshtein(a, b)
+        return edits / longest
+
     def attribute_distance(self, attribute: str, v1: Any, v2: Any) -> float:
         """Normalized distance between two values of *attribute* (Eq. 1)."""
         if v1 == v2:
@@ -358,7 +572,7 @@ class DistanceModel:
         elif attribute in self._spreads:
             value = normalized_euclidean(float(v1), float(v2), self._spreads[attribute])
         else:
-            value = normalized_edit_distance(str(v1), str(v2))
+            value = self._string_distance(str(v1), str(v2))
         if not 0.0 <= value <= 1.0 + 1e-9:
             raise ValueError(
                 f"distance for {attribute!r} out of [0,1]: {value} "
@@ -404,13 +618,115 @@ class DistanceModel:
         if self._cache is not None:
             self.cache_misses += 1
         budget = int(limit * longest) + 1
-        edits = levenshtein_banded(a, b, budget)
+        self.kernel_calls += 1
+        if _DEFAULT_KERNEL == "myers":
+            edits = self._prepared_kernel(a).compare(b, budget)
+        else:
+            edits = levenshtein(a, b, upper_bound=budget)
         if edits > budget:
             return None  # > limit by at least (1 - frac)/longest
         value = edits / longest
         if self._cache is not None:
             self._cache[(attribute, v1, v2)] = value
         return value
+
+    def prepare_distance(self, attribute: str, value: Any) -> Callable[[Any], float]:
+        """One-vs-many form of :meth:`attribute_distance`.
+
+        Fixes the left *value* and returns ``compare(other) -> float``.
+        For plain string attributes the Myers PEQ table is prepared once
+        (interned on the model, so identical strings across attributes
+        and FDs share one preparation) and reused by every call — cache
+        probes, counters, and returned values are identical to the
+        pairwise method.
+        """
+        if attribute in self._overrides or attribute in self._spreads:
+            return lambda other: self.attribute_distance(attribute, value, other)
+        left = str(value)
+        llen = len(left)
+
+        def compare(other: Any) -> float:
+            if value == other:
+                return 0.0
+            if self._cache is not None:
+                key = (attribute, value, other)
+                hit = self._cache.get(key)
+                if hit is None:
+                    hit = self._cache.get((attribute, other, value))
+                if hit is not None:
+                    self.cache_hits += 1
+                    return hit
+                self.cache_misses += 1
+            b = str(other)
+            if left == b:
+                result = 0.0
+            else:
+                longest = llen if llen >= len(b) else len(b)
+                if longest == 0:
+                    result = 0.0
+                else:
+                    self.kernel_calls += 1
+                    if _DEFAULT_KERNEL == "myers":
+                        edits = self._prepared_kernel(left).compare(b)
+                    else:
+                        edits = levenshtein(left, b)
+                    result = edits / longest
+            if self._cache is not None:
+                self._cache[key] = result
+            return result
+
+        return compare
+
+    def prepare_within(
+        self, attribute: str, value: Any
+    ) -> Callable[[Any, float], Optional[float]]:
+        """One-vs-many form of :meth:`attribute_distance_within`.
+
+        Fixes the left *value* and returns
+        ``compare(other, limit) -> Optional[float]`` with the same
+        exact-or-``None`` contract, cache traffic, and counter behaviour
+        as the pairwise method — only the per-call PEQ table build is
+        amortized away.
+        """
+        if attribute in self._overrides or attribute in self._spreads:
+            return lambda other, limit: self.attribute_distance_within(
+                attribute, value, other, limit
+            )
+        left = str(value)
+        llen = len(left)
+
+        def compare(other: Any, limit: float) -> Optional[float]:
+            if value == other:
+                return 0.0
+            if limit < 0.0:
+                return None  # distinct values always have positive distance
+            if self._cache is not None:
+                hit = self._cache.get((attribute, value, other))
+                if hit is None:
+                    hit = self._cache.get((attribute, other, value))
+                if hit is not None:
+                    self.cache_hits += 1
+                    return hit
+            b = str(other)
+            longest = llen if llen >= len(b) else len(b)
+            if longest == 0:
+                return 0.0
+            if self._cache is not None:
+                self.cache_misses += 1
+            budget = int(limit * longest) + 1
+            self.kernel_calls += 1
+            if _DEFAULT_KERNEL == "myers":
+                edits = self._prepared_kernel(left).compare(b, budget)
+            else:
+                edits = levenshtein(left, b, upper_bound=budget)
+            if edits > budget:
+                return None  # > limit by at least (1 - frac)/longest
+            result = edits / longest
+            if self._cache is not None:
+                self._cache[(attribute, value, other)] = result
+            return result
+
+        return compare
 
     def is_numeric(self, attribute: str) -> bool:
         """Whether *attribute* is compared with normalized Euclidean."""

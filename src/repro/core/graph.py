@@ -23,6 +23,7 @@ from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
 from repro.core.violation import Pattern, group_patterns
 from repro.dataset.relation import Relation
+from repro.index.registry import AttributeIndexRegistry
 from repro.index.simjoin import SimilarityJoin
 
 
@@ -71,11 +72,16 @@ class ViolationGraph:
         tau: float,
         join_strategy: str = "filtered",
         grouping: bool = True,
+        registry: Optional["AttributeIndexRegistry"] = None,
     ) -> "ViolationGraph":
         """Detect FT-violations of *fd* and assemble the graph.
 
         *grouping* off builds one vertex per tuple (the ungrouped graph
         of Section 3's opening; used by the grouping ablation).
+        *registry* shares per-attribute detection indexes across graphs
+        of one run (multi-FD repairs build one graph per FD, and FDs
+        overlap in attributes); counters stay per-join deltas, so
+        summing them over shared-registry graphs remains correct.
         """
         if grouping:
             patterns = group_patterns(relation, fd)
@@ -85,7 +91,9 @@ class ViolationGraph:
                 Pattern(relation.project_indexes(tid, bound.indexes), (tid,))
                 for tid in relation.tids()
             ]
-        join = SimilarityJoin(fd, model, tau, strategy=join_strategy)
+        join = SimilarityJoin(
+            fd, model, tau, strategy=join_strategy, registry=registry
+        )
         position = {id(p): i for i, p in enumerate(patterns)}
         edges = [
             (position[id(v.left)], position[id(v.right)], v.distance)
@@ -231,13 +239,18 @@ class ViolationGraph:
         return assignment, total
 
 
-#: the detection counters every strategy reports (see SimilarityJoin)
+#: the detection counters every strategy reports (see SimilarityJoin);
+#: kernel_calls / index_builds / index_reuses are per-join deltas of the
+#: shared model and attribute-index registry, so they sum cleanly here
 JOIN_COUNTER_KEYS = (
     "possible_pairs",
     "candidates_generated",
     "pairs_examined",
     "pairs_filtered",
     "pairs_verified",
+    "kernel_calls",
+    "index_builds",
+    "index_reuses",
 )
 
 

@@ -23,6 +23,7 @@ from repro.core.multi.targets import TargetJoinError
 from repro.core.repair import RepairResult, apply_edits
 from repro.core.single.greedy import greedy_independent_set
 from repro.dataset.relation import Relation
+from repro.index.registry import AttributeIndexRegistry
 
 
 def greedy_sets_per_fd(
@@ -32,6 +33,7 @@ def greedy_sets_per_fd(
     thresholds: Dict[FD, float],
     join_strategy: str = "filtered",
     seed_dominant: bool = True,
+    registry: "AttributeIndexRegistry" = None,
 ) -> Tuple[List[ViolationGraph], List[List[Tuple]]]:
     """One Greedy-S independent set per FD, as element value-tuples.
 
@@ -43,11 +45,18 @@ def greedy_sets_per_fd(
     for the paper-literal behaviour; ``benchmarks/test_ablation_seeding``
     quantifies the difference.
     """
+    if registry is None:
+        registry = AttributeIndexRegistry()  # shared across the per-FD joins
     graphs: List[ViolationGraph] = []
     elements: List[List[Tuple]] = []
     for fd in fds:
         graph = ViolationGraph.build(
-            relation, fd, model, thresholds[fd], join_strategy=join_strategy
+            relation,
+            fd,
+            model,
+            thresholds[fd],
+            join_strategy=join_strategy,
+            registry=registry,
         )
         chosen = greedy_independent_set(graph, seed_dominant=seed_dominant)
         graphs.append(graph)

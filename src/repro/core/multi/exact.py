@@ -35,6 +35,7 @@ from repro.core.single.mis import (
     enumerate_maximal_independent_sets,
 )
 from repro.dataset.relation import Relation
+from repro.index.registry import AttributeIndexRegistry
 
 
 class CombinationLimitError(RuntimeError):
@@ -185,9 +186,15 @@ def repair_multi_fd_exact(
     are cost-ranked and truncated, making the search anytime-optimal.
     """
     fds = list(fds)
+    registry = AttributeIndexRegistry()  # shared across the per-FD joins
     graphs = [
         ViolationGraph.build(
-            relation, fd, model, thresholds[fd], join_strategy=join_strategy
+            relation,
+            fd,
+            model,
+            thresholds[fd],
+            join_strategy=join_strategy,
+            registry=registry,
         )
         for fd in fds
     ]

@@ -42,8 +42,9 @@ from repro.core.graph import ViolationGraph, accumulate_join_counters
 from repro.core.multi.base import repair_with_sets
 from repro.core.multi.targets import TargetJoinError
 from repro.core.repair import RepairResult, apply_edits
-from repro.core.violation import projection_distance_within
+from repro.core.violation import PreparedProjection
 from repro.dataset.relation import Relation
+from repro.index.registry import AttributeIndexRegistry
 
 
 class _FDState:
@@ -102,7 +103,9 @@ class _FDState:
         """Tuple-level conflict weight of an arbitrary pattern value.
 
         Existing patterns read the precomputed weight; novel value
-        combinations are scored against all patterns (cached).
+        combinations are scored against all patterns (cached), with the
+        novel value's kernel preparations built once and streamed over
+        the whole pattern list (one-vs-many).
         """
         vertex = self.by_values.get(values)
         if vertex is not None:
@@ -110,11 +113,10 @@ class _FDState:
         hit = self._novel_cache.get(values)
         if hit is not None:
             return hit
+        prepared = PreparedProjection(model, self.fd, values)
         total = 0.0
         for pattern in self.graph.patterns:
-            dist = projection_distance_within(
-                model, self.fd, values, pattern.values, tau
-            )
+            dist = prepared.distance_within(pattern.values, tau)
             if dist is not None:
                 total += pattern.multiplicity
         self._novel_cache[values] = total
@@ -131,11 +133,17 @@ def repair_multi_fd_greedy(
 ) -> RepairResult:
     """Greedy-M repair of one FD-graph component."""
     fds = list(fds)
+    registry = AttributeIndexRegistry()  # shared across the per-FD joins
     states = [
         _FDState(
             fd,
             ViolationGraph.build(
-                relation, fd, model, thresholds[fd], join_strategy=join_strategy
+                relation,
+                fd,
+                model,
+                thresholds[fd],
+                join_strategy=join_strategy,
+                registry=registry,
             ),
             relation,
         )

@@ -198,15 +198,21 @@ class TargetTree:
         self.searches += 1
         query = dict(zip(self.attributes, tuple_values))
         # Per-search memo: each (attribute, candidate value) distance is
-        # computed once, however many nodes mention the value.
+        # computed once, however many nodes mention the value. The query
+        # value's kernel preparation is built once per attribute and
+        # streamed over every candidate (one-vs-many): the RDIST/EDIST
+        # legs compare the same query value against many node values.
         memo: Dict[str, Dict[object, float]] = {a: {} for a in self.attributes}
-        attribute_distance = self.model.attribute_distance
+        compare = {
+            attr: self.model.prepare_distance(attr, query[attr])
+            for attr in self.attributes
+        }
 
         def dist(attr: str, value: object) -> float:
             table = memo[attr]
             hit = table.get(value)
             if hit is None:
-                hit = attribute_distance(attr, query[attr], value)
+                hit = compare[attr](value)
                 table[value] = hit
             return hit
 

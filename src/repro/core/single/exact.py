@@ -33,15 +33,23 @@ def repair_single_fd_exact(
     max_nodes: Optional[int] = 200_000,
     join_strategy: str = "filtered",
     grouping: bool = True,
+    registry=None,
 ) -> RepairResult:
     """Optimal repair of *relation* w.r.t. a single FD.
 
     Parameters mirror the paper's knobs: *prune* toggles the Eq. (5)/(6)
     bounds, *grouping* the Section 3.1 tuple grouping, *join_strategy*
-    the violation-detection filter stack.
+    the violation-detection filter stack. *registry* shares detection
+    indexes with other joins of the same run.
     """
     graph = ViolationGraph.build(
-        relation, fd, model, tau, join_strategy=join_strategy, grouping=grouping
+        relation,
+        fd,
+        model,
+        tau,
+        join_strategy=join_strategy,
+        grouping=grouping,
+        registry=registry,
     )
     assignment, cost, stats = solve_graph_exact(graph, prune=prune, max_nodes=max_nodes)
     edits = materialize_pattern_assignment(relation, graph, assignment)

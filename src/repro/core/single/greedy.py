@@ -142,10 +142,21 @@ def repair_single_fd_greedy(
     tau: float,
     join_strategy: str = "filtered",
     grouping: bool = True,
+    registry=None,
 ) -> RepairResult:
-    """Greedy repair of *relation* w.r.t. a single FD."""
+    """Greedy repair of *relation* w.r.t. a single FD.
+
+    *registry* shares detection indexes with other joins of the same
+    run (see :class:`repro.index.registry.AttributeIndexRegistry`).
+    """
     graph = ViolationGraph.build(
-        relation, fd, model, tau, join_strategy=join_strategy, grouping=grouping
+        relation,
+        fd,
+        model,
+        tau,
+        join_strategy=join_strategy,
+        grouping=grouping,
+        registry=registry,
     )
     independent = greedy_independent_set(graph)
     assignment, cost = graph.repair_assignment(independent)

@@ -162,6 +162,112 @@ def projection_distance_within_banded(
     return total
 
 
+class PreparedProjection:
+    """One-vs-many Eq. (2): fix the left projection, stream the rights.
+
+    Wraps :meth:`DistanceModel.prepare_within` /
+    :meth:`DistanceModel.prepare_distance` comparers — one per FD
+    attribute, each with its Myers PEQ table prepared once — so
+    verifying one pattern against a whole candidate list (the shape of
+    blocker verification and the greedy conflict loops) pays the
+    per-value preparation once instead of per pair. Returned distances,
+    accepted pairs, and cache/counter traffic are identical to the
+    pairwise :func:`projection_distance_within` /
+    :func:`projection_distance_within_banded`.
+    """
+
+    __slots__ = (
+        "model", "fd", "values", "_weights", "_within", "_exact", "_bound"
+    )
+
+    def __init__(self, model: DistanceModel, fd: FD, values: Tuple) -> None:
+        self.model = model
+        self.fd = fd
+        self.values = values
+        n_lhs = len(fd.lhs)
+        w_lhs, w_rhs = model.weights.lhs, model.weights.rhs
+        self._weights = tuple(
+            w_lhs if pos < n_lhs else w_rhs for pos in range(len(fd.attributes))
+        )
+        self._within = tuple(
+            model.prepare_within(attr, values[pos])
+            for pos, attr in enumerate(fd.attributes)
+        )
+        self._exact = tuple(
+            model.prepare_distance(attr, values[pos])
+            for pos, attr in enumerate(fd.attributes)
+        )
+        # length-bound spec: left lengths resolved once (-1 = non-string)
+        self._bound = tuple(
+            (
+                pos,
+                attr,
+                self._weights[pos],
+                values[pos],
+                len(values[pos]) if isinstance(values[pos], str) else -1,
+            )
+            for pos, attr in enumerate(fd.attributes)
+        )
+
+    def length_lower_bound(self, other: Tuple) -> float:
+        """Prepared :func:`_length_lower_bound` — identical arithmetic
+        (same accumulation order), with the left lengths precomputed."""
+        total = 0.0
+        model = self.model
+        for pos, attr, weight, a, la in self._bound:
+            b = other[pos]
+            if a == b:
+                continue
+            if la >= 0:
+                lb = len(b)
+                longest = la if la > lb else lb
+                if longest:
+                    total += weight * abs(la - lb) / longest
+            else:
+                total += weight * model.attribute_distance(attr, a, b)
+        return total
+
+    def distance_within_banded(self, other: Tuple, tau: float) -> Optional[float]:
+        """One-vs-many :func:`projection_distance_within_banded`."""
+        total = 0.0
+        values = self.values
+        weights = self._weights
+        within = self._within
+        for pos in range(len(values)):
+            a, b = values[pos], other[pos]
+            if a == b:
+                continue
+            weight = weights[pos]
+            if weight <= 0.0:
+                continue  # contributes exactly 0.0, like the reference path
+            dist = within[pos](b, (tau - total) / weight)
+            if dist is None:
+                return None
+            total += weight * dist
+            if total > tau:
+                return None
+        return total
+
+    def distance_within(
+        self, other: Tuple, tau: float, use_filters: bool = True
+    ) -> Optional[float]:
+        """One-vs-many :func:`projection_distance_within`."""
+        if use_filters and self.length_lower_bound(other) > tau:
+            return None
+        total = 0.0
+        values = self.values
+        weights = self._weights
+        exact = self._exact
+        for pos in range(len(values)):
+            a, b = values[pos], other[pos]
+            if a == b:
+                continue
+            total += weights[pos] * exact[pos](b)
+            if total > tau:
+                return None
+        return total
+
+
 @dataclass(frozen=True)
 class FTViolation:
     """An FT-violating pattern pair with its Eq. (2) distance."""

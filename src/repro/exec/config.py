@@ -30,7 +30,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Union
 
-from repro.core.distances import DistanceFn, Weights
+from repro.core.distances import KERNELS, DistanceFn, Weights
 
 #: per-FD tau mapping, one scalar for every FD, or None (derive from data)
 ThresholdsLike = Union[None, float, Mapping[Any, float]]
@@ -52,6 +52,7 @@ class RepairConfig:
     thresholds: ThresholdsLike = None
     use_tree: bool = True
     join_strategy: str = "indexed"
+    kernel: str = "myers"
     fallback: str = "error"
     max_nodes: Optional[int] = 200_000
     max_combinations: int = 1_000_000
@@ -74,6 +75,11 @@ class RepairConfig:
             )
         if self.fallback not in ("error", "greedy"):
             raise ValueError("fallback must be 'error' or 'greedy'")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of "
+                f"{sorted(KERNELS)}"
+            )
         if self.n_jobs == 0 or not isinstance(self.n_jobs, int):
             raise ValueError(
                 "n_jobs must be a positive worker count or -1 (one per CPU)"

@@ -43,7 +43,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.constraints import FD
 from repro.core.detection import DetectionReport, classify_violations
-from repro.core.distances import DistanceModel
+from repro.core.distances import DistanceModel, use_kernel
 from repro.core.multi.appro import repair_multi_fd_appro
 from repro.core.multi.exact import CombinationLimitError, repair_multi_fd_exact
 from repro.core.multi.fdgraph import fd_components
@@ -57,6 +57,7 @@ from repro.dataset.relation import Relation
 from repro.exec.cache import shared_model
 from repro.exec.config import RepairConfig
 from repro.exec.stats import DegradedRepairWarning, ExecutionStats
+from repro.index.registry import AttributeIndexRegistry
 from repro.index.simjoin import SimilarityJoin
 
 #: exact algorithm -> the greedy algorithm it degrades to
@@ -125,6 +126,9 @@ class DetectionOutcome:
     pairs_examined: int
     pairs_filtered: int
     pairs_verified: int
+    kernel_calls: int
+    index_builds: int
+    index_reuses: int
     blocker: Optional[str]
     cache_hits: int
     cache_misses: int
@@ -274,6 +278,10 @@ def _repair_sequential(
     current = relation
     edits: List = []
     total = 0.0
+    # One registry across the FD loop: attributes untouched by earlier
+    # repairs reuse their indexes, changed ones fail validation and
+    # rebuild (the registry checks its value set per call).
+    registry = AttributeIndexRegistry()
     for fd in fds:
         if algorithm == "exact-s":
             # ExpansionLimitError propagates to repair_component, which
@@ -285,6 +293,7 @@ def _repair_sequential(
                 thresholds[fd],
                 max_nodes=config.max_nodes,
                 join_strategy=config.join_strategy,
+                registry=registry,
             )
         else:
             step = repair_single_fd_greedy(
@@ -293,6 +302,7 @@ def _repair_sequential(
                 model,
                 thresholds[fd],
                 join_strategy=config.join_strategy,
+                registry=registry,
             )
         current = step.relation
         edits.extend(step.edits)
@@ -312,13 +322,14 @@ def _run_component_task(task: ComponentTask) -> ComponentOutcome:
     start = time.perf_counter()
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
-        result, meta = repair_component(
-            task.relation,
-            task.fds,
-            model,
-            dict(task.thresholds),
-            task.config,
-        )
+        with use_kernel(task.config.kernel):
+            result, meta = repair_component(
+                task.relation,
+                task.fds,
+                model,
+                dict(task.thresholds),
+                task.config,
+            )
     seconds = time.perf_counter() - start
     return ComponentOutcome(
         index=task.index,
@@ -348,7 +359,8 @@ def _run_detection_task(task: DetectionTask) -> DetectionOutcome:
     join = SimilarityJoin(
         task.fd, model, task.tau, strategy=task.config.join_strategy
     )
-    violations = join.join(patterns)
+    with use_kernel(task.config.kernel):
+        violations = join.join(patterns)
     return DetectionOutcome(
         index=task.index,
         fd_name=task.fd.name,
@@ -359,6 +371,9 @@ def _run_detection_task(task: DetectionTask) -> DetectionOutcome:
         pairs_examined=join.pairs_examined,
         pairs_filtered=join.pairs_filtered,
         pairs_verified=join.pairs_verified,
+        kernel_calls=join.kernel_calls,
+        index_builds=join.index_builds,
+        index_reuses=join.index_reuses,
         blocker=join.plan.describe() if join.plan is not None else None,
         cache_hits=model.cache_hits - hits0,
         cache_misses=model.cache_misses - misses0,
@@ -481,6 +496,9 @@ class RepairExecutor:
                     "pairs_examined": outcome.pairs_examined,
                     "pairs_filtered": outcome.pairs_filtered,
                     "pairs_verified": outcome.pairs_verified,
+                    "kernel_calls": outcome.kernel_calls,
+                    "index_builds": outcome.index_builds,
+                    "index_reuses": outcome.index_reuses,
                     "blocker": outcome.blocker,
                 }
             )
@@ -499,6 +517,9 @@ class RepairExecutor:
                 "pairs_examined": sum(o.pairs_examined for o in outcomes),
                 "pairs_filtered": sum(o.pairs_filtered for o in outcomes),
                 "pairs_verified": sum(o.pairs_verified for o in outcomes),
+                "kernel_calls": sum(o.kernel_calls for o in outcomes),
+                "index_builds": sum(o.index_builds for o in outcomes),
+                "index_reuses": sum(o.index_reuses for o in outcomes),
             }
         )
         return DetectionReport(

@@ -106,6 +106,9 @@ class ExecutionStats(dict):
             "pairs_examined",
             "pairs_filtered",
             "pairs_verified",
+            "kernel_calls",
+            "index_builds",
+            "index_reuses",
             "target_tree_nodes_visited",
             "target_tree_nodes_pruned",
             "nodes_expanded",

@@ -56,6 +56,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel, levenshtein_banded, qgrams
 from repro.core.violation import Pattern
+from repro.index.registry import AttributeIndexRegistry
 
 #: relative epsilon inside the edit-budget floor so float rounding in
 #: ``ratio * length`` can never round an exactly-representable budget
@@ -325,6 +326,7 @@ class _AttrInfo:
         values: List[Any],
         groups: List[List[int]],
         q: int,
+        registry: AttributeIndexRegistry,
     ) -> None:
         self.position = position
         self.attribute = attribute
@@ -334,6 +336,7 @@ class _AttrInfo:
         self.values = values
         self.groups = groups
         self.q = q
+        self.registry = registry
         self.intra = _intra_pair_count(groups)
         if numeric:
             self.max_len = 0
@@ -406,17 +409,19 @@ class _AttrInfo:
             else:
                 band = _band_width(ratio, self.spread)
                 kind, k = "band", 0
-                estimate = _band_estimate(self.values, self.groups, band)
+                estimate = self.registry.band_estimate(
+                    self.attribute, self.values, self.groups, band
+                )
         elif ratio * self.max_len < 1.0 - _EXACT_MARGIN:
             kind, k, estimate = "exact", 0, self.intra
         else:
             k = int(ratio * self.max_len + _BUDGET_EPS)
             kind = "qgram"
-            result = _qgram_value_pairs(
+            result = self.registry.qgram_value_pairs(
+                self.attribute,
                 self.values,
                 self.groups,
                 ratio,
-                self.q,
                 self._pair_cap(),
                 limit - self.intra,
             )
@@ -446,6 +451,7 @@ def _usable_attributes(
     model: DistanceModel,
     patterns: Sequence[Pattern],
     q: int,
+    registry: AttributeIndexRegistry,
 ) -> List[_AttrInfo]:
     n_lhs = len(fd.lhs)
     infos: List[_AttrInfo] = []
@@ -463,7 +469,15 @@ def _usable_attributes(
         spread = model.spread(attribute) if numeric else 0.0
         infos.append(
             _AttrInfo(
-                position, attribute, weight, numeric, spread, values, groups, q
+                position,
+                attribute,
+                weight,
+                numeric,
+                spread,
+                values,
+                groups,
+                q,
+                registry,
             )
         )
     return infos
@@ -536,6 +550,7 @@ def plan_blocker(
     tau: float,
     patterns: Sequence[Pattern],
     q: int = 2,
+    registry: Optional[AttributeIndexRegistry] = None,
 ) -> BlockPlan:
     """Pick the cheapest sound blocker union for one self-join.
 
@@ -547,12 +562,18 @@ def plan_blocker(
     wins. Construction aborts early once a plan provably cannot beat
     the best so far; when nothing beats ``_PLAN_ADVANTAGE`` times the
     ``P * (P - 1) / 2`` scan estimate the plan is a ``scan``.
+
+    Pass a shared :class:`AttributeIndexRegistry` so plans over FDs
+    with overlapping attributes reuse each other's q-gram indexes and
+    sorted numeric orders; the plan itself is identical either way.
     """
     n = len(patterns)
     scan = BlockPlan(kind="scan", estimate=n * (n - 1) // 2)
     if n < 2 or tau < 0.0:
         return scan
-    infos = _usable_attributes(fd, model, patterns, q)
+    if registry is None:
+        registry = AttributeIndexRegistry(q)
+    infos = _usable_attributes(fd, model, patterns, q, registry)
     if not infos:
         return scan
     # candidate generation has real overhead (probing, set union, sort);
@@ -596,6 +617,7 @@ def candidate_pairs(
     patterns: Sequence[Pattern],
     model: DistanceModel,
     q: int = 2,
+    registry: Optional[AttributeIndexRegistry] = None,
 ) -> List[Tuple[int, int]]:
     """Candidate pattern-index pairs of *plan*, sorted ``(i, j), i < j``.
 
@@ -608,6 +630,8 @@ def candidate_pairs(
     """
     if plan.kind == "scan":
         raise ValueError("scan plans have no candidate generator")
+    if registry is None:
+        registry = AttributeIndexRegistry(q)
     seen: Set[Tuple[int, int]] = set()
     for blocker in plan.blockers:
         numeric = blocker.kind == "band" or (
@@ -625,15 +649,24 @@ def candidate_pairs(
                     seen.add((u, v))
         if blocker.kind == "band":
             band = _band_width(blocker.ratio, model.spread(blocker.attribute))
-            for u, v in _band_windows(values, band):
+            for u, v in registry.band_windows(blocker.attribute, values, band):
                 seen.update(_cross_pairs(groups[u], groups[v]))
         elif blocker.kind == "qgram":
             value_pairs: Sequence[Tuple[int, int]]
             if blocker.value_pairs is not None:
                 value_pairs = blocker.value_pairs
             else:
-                index = QGramPrefixIndex(values, blocker.ratio, q)
-                value_pairs = sorted(index.candidate_value_pairs())
+                # unsettled fallback: the shared index's raw probe
+                # survivors, translated to local ids — same set the
+                # per-FD QGramPrefixIndex emitted
+                entry, codes = registry.string_index(blocker.attribute, values)
+                local_of = {code: vid for vid, code in enumerate(codes)}
+                value_pairs = sorted(
+                    (local_of[cu], local_of[cv])
+                    if local_of[cu] < local_of[cv]
+                    else (local_of[cv], local_of[cu])
+                    for cu, cv in entry.raw_pairs(blocker.ratio)
+                )
             for u, v in value_pairs:
                 seen.update(_cross_pairs(groups[u], groups[v]))
     return sorted(seen)

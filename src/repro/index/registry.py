@@ -1,0 +1,405 @@
+"""Per-relation shared attribute indexes for FT-violation detection.
+
+Several FDs of a workload typically share attributes (the FD-graph
+overlap the paper exploits in Theorems 5-7), yet the blocker planner
+historically rebuilt every q-gram index, sorted numeric band, and exact
+partition per FD. :class:`AttributeIndexRegistry` hoists those
+structures to the attribute level: the **distinct coerced values** of an
+attribute are the same for every FD containing it (patterns cover all
+tuples), so one canonical index per attribute serves every plan, with a
+per-call code translation between the canonical numbering and each
+FD's local value ids.
+
+Shared per string attribute:
+
+* the q-gram profiles, gram frequencies, length buckets, and inverted
+  posting lists (ratio-independent — built lazily on first q-gram probe),
+* the raw probe survivors per ratio (``raw_pairs``),
+* the exact settle verdicts ``lev(a, b) <= k`` per value pair and
+  budget, computed through the active Levenshtein kernel with interned
+  Myers preparations (see :class:`repro.core.distances.PreparedKernel`).
+
+Shared per numeric attribute: the sorted value order and the band-join
+windows per band width.
+
+Everything the registry returns is provably identical to what the
+per-FD rebuild produced: raw probe sets depend only on the value *set*
+(frequencies, buckets, and postings are numbering-invariant), settle
+verdicts are value-level facts, band windows and estimates are
+unordered-pair sets/counts that tie order cannot change, and the
+expansion-limit abort of :meth:`qgram_value_pairs` triggers for a given
+total in any iteration order. Detection output therefore stays
+byte-identical with and without sharing.
+
+The registry validates its entries per call (length equality plus
+membership of every local value) and rebuilds on mismatch, so it stays
+sound when the relation evolves between joins — e.g. the sequential
+single-FD repair loop. Builds, reuses, and settle kernel calls are
+counted and surface in ``ViolationGraph.join_counters`` /
+``ExecutionStats`` / CLI ``--stats``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.distances import (
+    PreparedKernel,
+    default_kernel,
+    levenshtein,
+    qgrams,
+)
+
+
+def _budget_eps() -> float:
+    # function-level import: blocking imports this module at load time
+    from repro.index.blocking import _BUDGET_EPS
+
+    return _BUDGET_EPS
+
+
+class _StringIndex:
+    """Canonical q-gram structures over one attribute's distinct values."""
+
+    __slots__ = (
+        "q",
+        "values",
+        "code_of",
+        "lengths",
+        "_profiles",
+        "_frequency",
+        "_by_length",
+        "_postings",
+        "_raw_pairs",
+        "settled",
+    )
+
+    def __init__(self, values: Sequence[str], q: int) -> None:
+        self.q = q
+        self.values: List[str] = list(values)
+        self.code_of: Dict[str, int] = {
+            value: code for code, value in enumerate(self.values)
+        }
+        self.lengths: List[int] = [len(value) for value in self.values]
+        self._profiles: Optional[List[frozenset]] = None
+        self._frequency: Optional[Counter] = None
+        self._by_length: Optional[Dict[int, List[int]]] = None
+        self._postings: Optional[Dict[int, Dict[str, List[int]]]] = None
+        self._raw_pairs: Dict[float, Tuple[Tuple[int, int], ...]] = {}
+        #: settle verdicts ``lev(values[u], values[v]) <= k`` keyed (u, v, k)
+        self.settled: Dict[Tuple[int, int, int], bool] = {}
+
+    def _ensure_grams(self) -> None:
+        if self._profiles is not None:
+            return
+        self._profiles = [frozenset(qgrams(value, self.q)) for value in self.values]
+        frequency: Counter = Counter()
+        for profile in self._profiles:
+            frequency.update(profile)
+        self._frequency = frequency
+        by_length: Dict[int, List[int]] = {}
+        postings: Dict[int, Dict[str, List[int]]] = {}
+        for code, length in enumerate(self.lengths):
+            by_length.setdefault(length, []).append(code)
+            bucket = postings.setdefault(length, {})
+            for gram in self._profiles[code]:
+                bucket.setdefault(gram, []).append(code)
+        self._by_length = by_length
+        self._postings = postings
+
+    def raw_pairs(self, ratio: float) -> Tuple[Tuple[int, int], ...]:
+        """Probe survivors at *ratio*, in canonical codes, cached.
+
+        Replicates ``QGramPrefixIndex.candidate_value_pairs`` exactly:
+        the emitted pair *set* depends only on the value set, never on
+        the numbering, so translating codes to any FD's local ids yields
+        the same candidate set the per-FD index produced.
+        """
+        cached = self._raw_pairs.get(ratio)
+        if cached is not None:
+            return cached
+        self._ensure_grams()
+        eps = _budget_eps()
+        q = self.q
+        frequency = self._frequency
+        by_length = self._by_length
+        postings = self._postings
+        lengths = self.lengths
+        pairs: Set[Tuple[int, int]] = set()
+        length_keys = sorted(by_length)
+        for code, profile in enumerate(self._profiles):
+            la = lengths[code]
+            prefix_source = sorted(profile, key=lambda g: (frequency[g], g))
+            for lb in length_keys:
+                k = int(ratio * (la if la > lb else lb) + eps)
+                if abs(la - lb) > k:
+                    continue
+                if len(prefix_source) <= k * q:
+                    hits: Sequence[int] = by_length[lb]
+                else:
+                    bucket = postings[lb]
+                    seen: Set[int] = set()
+                    for gram in prefix_source[: k * q + 1]:
+                        seen.update(bucket.get(gram, ()))
+                    hits = seen
+                for other in hits:
+                    if other != code:
+                        pairs.add((code, other) if code < other else (other, code))
+        result = tuple(sorted(pairs))
+        self._raw_pairs[ratio] = result
+        return result
+
+
+class _NumericIndex:
+    """Canonical sorted order (and band windows) of one numeric attribute."""
+
+    __slots__ = ("values", "code_of", "order", "_windows")
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self.values: List[float] = list(values)
+        self.code_of: Dict[float, int] = {
+            value: code for code, value in enumerate(self.values)
+        }
+        self.order: List[int] = sorted(
+            range(len(self.values)), key=lambda code: self.values[code]
+        )
+        self._windows: Dict[float, Tuple[Tuple[int, int], ...]] = {}
+
+    def windows(self, band: float) -> Tuple[Tuple[int, int], ...]:
+        """Canonical code pairs within *band* of each other, cached."""
+        cached = self._windows.get(band)
+        if cached is not None:
+            return cached
+        values = self.values
+        order = self.order
+        pairs: List[Tuple[int, int]] = []
+        left = 0
+        for right in range(len(order)):
+            while values[order[right]] - values[order[left]] > band:
+                left += 1
+            for mid in range(left, right):
+                pairs.append((order[mid], order[right]))
+        result = tuple(pairs)
+        self._windows[band] = result
+        return result
+
+
+class AttributeIndexRegistry:
+    """Shared per-attribute index store with build/reuse accounting.
+
+    One instance per relation (or per repair run): pass it to every
+    :func:`repro.index.blocking.plan_blocker` /
+    :func:`~repro.index.blocking.candidate_pairs` call and to every
+    :class:`repro.index.simjoin.SimilarityJoin` so FDs sharing an
+    attribute share its indexes. Thread-confined like
+    :class:`~repro.core.distances.DistanceModel` — parallel workers each
+    hold their own.
+    """
+
+    def __init__(self, q: int = 2) -> None:
+        self.q = q
+        self.index_builds = 0
+        self.index_reuses = 0
+        #: settle kernel invocations (cache-missed ``lev <= k`` verdicts)
+        self.kernel_calls = 0
+        self._strings: Dict[str, _StringIndex] = {}
+        self._numerics: Dict[str, _NumericIndex] = {}
+        self._kernels: Dict[str, PreparedKernel] = {}
+        self._gram_profiles: Dict[str, Counter] = {}
+        self._count_filter: Dict[Tuple[str, str, int], bool] = {}
+
+    def counters(self) -> Dict[str, int]:
+        """The accounting triple, for stats plumbing."""
+        return {
+            "index_builds": self.index_builds,
+            "index_reuses": self.index_reuses,
+            "kernel_calls": self.kernel_calls,
+        }
+
+    # ------------------------------------------------------------------
+    def string_index(
+        self, attribute: str, values: Sequence[str]
+    ) -> Tuple[_StringIndex, List[int]]:
+        """The canonical index for *attribute* plus local->canonical codes.
+
+        Reuses the cached entry when *values* is a bijection of its
+        canonical set (same length, every value known); rebuilds
+        otherwise — the relation changed under the registry, e.g. between
+        the passes of a sequential repair loop.
+        """
+        entry = self._strings.get(attribute)
+        if entry is not None and len(entry.values) == len(values):
+            code_of = entry.code_of
+            codes: List[int] = []
+            for value in values:
+                code = code_of.get(value)
+                if code is None:
+                    break
+                codes.append(code)
+            else:
+                self.index_reuses += 1
+                return entry, codes
+        entry = _StringIndex(values, self.q)
+        self._strings[attribute] = entry
+        self.index_builds += 1
+        return entry, list(range(len(values)))
+
+    def numeric_index(
+        self, attribute: str, values: Sequence[float]
+    ) -> Tuple[_NumericIndex, List[int]]:
+        """Numeric twin of :meth:`string_index` (same validation rule)."""
+        entry = self._numerics.get(attribute)
+        if entry is not None and len(entry.values) == len(values):
+            code_of = entry.code_of
+            codes = []
+            for value in values:
+                code = code_of.get(value)
+                if code is None:
+                    break
+                codes.append(code)
+            else:
+                self.index_reuses += 1
+                return entry, codes
+        entry = _NumericIndex(values)
+        self._numerics[attribute] = entry
+        self.index_builds += 1
+        return entry, list(range(len(values)))
+
+    # ------------------------------------------------------------------
+    def prepared_kernel(self, text: str) -> PreparedKernel:
+        """The interned Myers preparation for *text* (built once)."""
+        prepared = self._kernels.get(text)
+        if prepared is None:
+            prepared = PreparedKernel(text)
+            self._kernels[text] = prepared
+        return prepared
+
+    def gram_profile(self, text: str) -> Counter:
+        """The interned q-gram multiset of *text* (for count filters)."""
+        profile = self._gram_profiles.get(text)
+        if profile is None:
+            profile = Counter(qgrams(text, self.q))
+            self._gram_profiles[text] = profile
+        return profile
+
+    def count_filter_reject(
+        self, a: str, b: str, pa: Counter, pb: Counter, need: int
+    ) -> bool:
+        """Cached count-filter verdict: ``gram overlap(a, b) < need``.
+
+        The same value pairs recur across pattern pairs and across FDs
+        sharing the attribute, so the overlap loop runs once per
+        distinct ``(pair, budget)``; every later probe is a dict hit.
+        Overlap is symmetric, hence the normalized key.
+        """
+        if a > b:
+            a, b = b, a
+        key = (a, b, need)
+        verdict = self._count_filter.get(key)
+        if verdict is None:
+            if len(pb) < len(pa):
+                pa, pb = pb, pa
+            overlap = 0
+            for gram, count in pa.items():
+                other = pb[gram]
+                if other:
+                    overlap += count if count < other else other
+            verdict = overlap < need
+            self._count_filter[key] = verdict
+        return verdict
+
+    def _settle(self, entry: _StringIndex, u: int, v: int, k: int) -> bool:
+        """Whether ``lev(values[u], values[v]) <= k`` — cached, kernel-routed."""
+        key = (u, v, k)
+        verdict = entry.settled.get(key)
+        if verdict is None:
+            a, b = entry.values[u], entry.values[v]
+            self.kernel_calls += 1
+            if default_kernel() == "myers":
+                verdict = self.prepared_kernel(a).compare(b, k) <= k
+            else:
+                verdict = levenshtein(a, b, upper_bound=k) <= k
+            entry.settled[key] = verdict
+        return verdict
+
+    def qgram_value_pairs(
+        self,
+        attribute: str,
+        values: Sequence[str],
+        groups: Sequence[Sequence[int]],
+        ratio: float,
+        cap: int,
+        expansion_limit: float,
+    ) -> Optional[Tuple[Tuple[Tuple[int, int], ...], int]]:
+        """Shared-index drop-in for ``blocking._qgram_value_pairs``.
+
+        Same contract: the settled value-id pairs (local ids, sorted)
+        within ``floor(ratio * max_len + eps)`` edits plus their pattern
+        expansion, or ``None`` past *cap* / *expansion_limit*. The abort
+        decision and emitted set are iteration-order independent, so the
+        canonical traversal matches the per-FD one exactly.
+        """
+        entry, codes = self.string_index(attribute, values)
+        raw = entry.raw_pairs(ratio)
+        if len(raw) > cap:
+            return None
+        eps = _budget_eps()
+        lengths = entry.lengths
+        local_of = {code: vid for vid, code in enumerate(codes)}
+        kept: List[Tuple[int, int]] = []
+        expanded = 0
+        for cu, cv in raw:
+            la, lb = lengths[cu], lengths[cv]
+            k = int(ratio * (la if la > lb else lb) + eps)
+            if self._settle(entry, cu, cv, k):
+                u, v = local_of[cu], local_of[cv]
+                if u > v:
+                    u, v = v, u
+                kept.append((u, v))
+                expanded += len(groups[u]) * len(groups[v])
+                if expanded > expansion_limit:
+                    return None
+        kept.sort()
+        return tuple(kept), expanded
+
+    # ------------------------------------------------------------------
+    def band_windows(
+        self, attribute: str, values: Sequence[float], band: float
+    ) -> List[Tuple[int, int]]:
+        """Shared-index drop-in for ``blocking._band_windows`` (local ids)."""
+        entry, codes = self.numeric_index(attribute, values)
+        local_of = {code: vid for vid, code in enumerate(codes)}
+        pairs: List[Tuple[int, int]] = []
+        for cu, cv in entry.windows(band):
+            pairs.append((local_of[cu], local_of[cv]))
+        return pairs
+
+    def band_estimate(
+        self,
+        attribute: str,
+        values: Sequence[float],
+        groups: Sequence[Sequence[int]],
+        band: float,
+    ) -> int:
+        """Shared-order drop-in for ``blocking._band_estimate``.
+
+        The count of unordered pairs within *band* (plus intra-group
+        pairs) is invariant to tie order in the sort, so the canonical
+        order gives the exact per-FD estimate without re-sorting.
+        """
+        entry, codes = self.numeric_index(attribute, values)
+        total = sum(len(g) * (len(g) - 1) // 2 for g in groups)
+        local_values = list(values)
+        # translate the canonical sorted order to local ids
+        local_of = {code: vid for vid, code in enumerate(codes)}
+        order = [local_of[code] for code in entry.order]
+        left = 0
+        window = 0  # sum of group sizes currently in [left, right)
+        for right in range(len(order)):
+            while local_values[order[right]] - local_values[order[left]] > band:
+                window -= len(groups[order[left]])
+                left += 1
+            total += window * len(groups[order[right]])
+            window += len(groups[order[right]])
+        return total

@@ -41,6 +41,7 @@ possible pairs the strategy never examined.
 
 from __future__ import annotations
 
+from typing import Counter as CounterType
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.constraints import FD
@@ -48,12 +49,12 @@ from repro.core.distances import DistanceModel
 from repro.core.violation import (
     FTViolation,
     Pattern,
+    PreparedProjection,
     _length_lower_bound,
-    projection_distance_within,
-    projection_distance_within_banded,
 )
 from repro.index.blocking import BlockPlan, candidate_pairs, plan_blocker
 from repro.index.qgram import passes_count_filter
+from repro.index.registry import AttributeIndexRegistry
 
 STRATEGIES = ("naive", "filtered", "qgram", "indexed")
 
@@ -76,6 +77,7 @@ class SimilarityJoin:
         tau: float,
         strategy: str = "indexed",
         q: int = 2,
+        registry: Optional[AttributeIndexRegistry] = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; expected {STRATEGIES}")
@@ -86,6 +88,9 @@ class SimilarityJoin:
         self.tau = tau
         self.strategy = strategy
         self.q = q
+        #: shared attribute indexes; pass one registry to every join of a
+        #: run so FDs with overlapping attributes reuse each other's work
+        self.registry = registry if registry is not None else AttributeIndexRegistry(q)
         self._qgram_attr = self._pick_qgram_attribute() if strategy == "qgram" else None
         self.plan: Optional[BlockPlan] = None
         self._reset_counters()
@@ -96,6 +101,11 @@ class SimilarityJoin:
         self.pairs_examined = 0
         self.pairs_filtered = 0
         self.pairs_verified = 0
+        # per-join deltas of the shared model/registry counters, so sums
+        # over joins sharing one registry stay correct
+        self.kernel_calls = 0
+        self.index_builds = 0
+        self.index_reuses = 0
 
     @property
     def reduction_ratio(self) -> float:
@@ -112,6 +122,9 @@ class SimilarityJoin:
             "pairs_examined": self.pairs_examined,
             "pairs_filtered": self.pairs_filtered,
             "pairs_verified": self.pairs_verified,
+            "kernel_calls": self.kernel_calls,
+            "index_builds": self.index_builds,
+            "index_reuses": self.index_reuses,
             "reduction_ratio": self.reduction_ratio,
             "blocker": self.plan.describe() if self.plan is not None else None,
         }
@@ -136,7 +149,13 @@ class SimilarityJoin:
         return best
 
     def _qgram_reject(self, v1: Tuple, v2: Tuple) -> bool:
-        """True when the q-gram filter proves the pair exceeds tau."""
+        """True when the q-gram filter proves the pair exceeds tau.
+
+        Pairwise reference form of the test; the scan loop inlines a
+        boolean-identical version over registry-interned gram profiles
+        with the verdict cached per distinct value pair
+        (:meth:`AttributeIndexRegistry.count_filter_reject`).
+        """
         if self._qgram_attr is None:
             return False
         pos, weight = self._qgram_attr
@@ -156,24 +175,47 @@ class SimilarityJoin:
         """All FT-violating pairs among *patterns* at threshold ``tau``."""
         self._reset_counters()
         self.plan = None
+        model, registry = self.model, self.registry
+        kernel_calls0 = model.kernel_calls + registry.kernel_calls
+        builds0 = registry.index_builds
+        reuses0 = registry.index_reuses
         n = len(patterns)
         self.possible_pairs = n * (n - 1) // 2
         if self.strategy == "indexed":
             self.plan = plan_blocker(
-                self.fd, self.model, self.tau, patterns, self.q
+                self.fd, self.model, self.tau, patterns, self.q, registry
             )
             if self.plan.kind != "scan":
-                return self._join_indexed(patterns)
-            # no indexable attribute: fall through to the filtered scan
-        return self._join_scan(patterns)
+                out = self._join_indexed(patterns)
+            else:
+                # no indexable attribute: fall back to the filtered scan
+                out = self._join_scan(patterns)
+        else:
+            out = self._join_scan(patterns)
+        self.kernel_calls = (
+            model.kernel_calls + registry.kernel_calls - kernel_calls0
+        )
+        self.index_builds = registry.index_builds - builds0
+        self.index_reuses = registry.index_reuses - reuses0
+        return out
 
     def _join_indexed(self, patterns: Sequence[Pattern]) -> List[FTViolation]:
-        """Verify only the blocker's candidates, in scan order."""
+        """Verify only the blocker's candidates, in scan order.
+
+        Candidates arrive sorted by left index, so the left pattern's
+        per-attribute kernel preparations (:class:`PreparedProjection`)
+        are built once per run of equal ``i`` and reused across all its
+        right-hand candidates — the one-vs-many shape.
+        """
         assert self.plan is not None
-        candidates = candidate_pairs(self.plan, patterns, self.model, self.q)
+        candidates = candidate_pairs(
+            self.plan, patterns, self.model, self.q, self.registry
+        )
         self.candidates_generated = len(candidates)
         out: List[FTViolation] = []
         model, fd, tau = self.model, self.fd, self.tau
+        prepared: Optional[PreparedProjection] = None
+        prepared_i = -1
         for i, j in candidates:
             self.pairs_examined += 1
             left, right = patterns[i], patterns[j]
@@ -181,9 +223,10 @@ class SimilarityJoin:
                 self.pairs_filtered += 1
                 continue
             self.pairs_verified += 1
-            dist = projection_distance_within_banded(
-                model, fd, left.values, right.values, tau
-            )
+            if i != prepared_i:
+                prepared = PreparedProjection(model, fd, left.values)
+                prepared_i = i
+            dist = prepared.distance_within_banded(right.values, tau)
             if dist is not None:
                 out.append(FTViolation(left, right, dist))
         return out
@@ -195,8 +238,35 @@ class SimilarityJoin:
         qgram = self.strategy == "qgram"
         model, fd, tau = self.model, self.fd, self.tau
         lhs, rhs = fd.lhs, fd.rhs
+        profiles: Optional[List[Optional["CounterType[str]"]]] = None
+        pos = -1
+        ratio = 0.0
+        q = self.q
+        reject = self.registry.count_filter_reject
+        if qgram and self._qgram_attr is not None:
+            # gram profiles once per pattern (interned per distinct value
+            # in the registry), not twice per pair
+            pos, weight = self._qgram_attr
+            ratio = self.tau / weight
+            gram_profile = self.registry.gram_profile
+            profiles = [
+                gram_profile(p.values[pos])
+                if isinstance(p.values[pos], str)
+                else None
+                for p in patterns
+            ]
         for i, left in enumerate(patterns):
-            for right in patterns[i + 1 :]:
+            # left preparation once per row of the scan (one-vs-many):
+            # the length-bound spec and per-attribute kernel comparers
+            # are streamed over every right-hand pattern
+            prepared = (
+                None if naive else PreparedProjection(model, fd, left.values)
+            )
+            pa = profiles[i] if profiles is not None else None
+            if pa is not None:
+                a_left = left.values[pos]
+                la = len(a_left)
+            for k, right in enumerate(patterns[i + 1 :], start=i + 1):
                 self.pairs_examined += 1
                 if naive:
                     # genuinely unfiltered: full Eq. (2), then compare
@@ -207,20 +277,34 @@ class SimilarityJoin:
                     if dist <= tau:
                         out.append(FTViolation(left, right, dist))
                     continue
-                if _length_lower_bound(model, fd, left.values, right.values) > tau:
+                if prepared.length_lower_bound(right.values) > tau:
                     self.pairs_filtered += 1
                     continue
-                if qgram and self._qgram_reject(left.values, right.values):
-                    self.pairs_filtered += 1
-                    continue
+                if pa is not None:
+                    # inline count filter: the single attribute alone
+                    # must satisfy weight * ned <= tau, i.e.
+                    # lev <= (tau / weight) * max(len)
+                    b = right.values[pos]
+                    pb = profiles[k]
+                    if pb is not None and a_left != b:
+                        lb = len(b)
+                        longest = la if la > lb else lb
+                        if longest:
+                            max_edits = int(ratio * longest)
+                            if not a_left or not b:
+                                if longest > max_edits:
+                                    self.pairs_filtered += 1
+                                    continue
+                            else:
+                                need = longest + q - 1 - max_edits * q
+                                if need > 0 and reject(
+                                    a_left, b, pa, pb, need
+                                ):
+                                    self.pairs_filtered += 1
+                                    continue
                 self.pairs_verified += 1
-                dist = projection_distance_within(
-                    model,
-                    fd,
-                    left.values,
-                    right.values,
-                    tau,
-                    use_filters=False,
+                dist = prepared.distance_within(
+                    right.values, tau, use_filters=False
                 )
                 if dist is not None:
                     out.append(FTViolation(left, right, dist))

@@ -1,0 +1,92 @@
+"""Shared conventions for the CI gate scripts in this directory.
+
+Every ``check_*_gate.py`` follows the same contract:
+
+* exit ``EXIT_PASS`` (0) — the gated property holds;
+* exit ``EXIT_REGRESSION`` (1) — the bench ran but the property failed
+  (a real regression, fail the job loudly);
+* exit ``EXIT_MISSING`` (2) — the gate could not run at all (missing or
+  malformed bench file, missing tooling). CI treats this differently
+  from a regression: the *pipeline* is broken, not the code under test.
+
+Each gate also appends a small markdown block to
+``$GITHUB_STEP_SUMMARY`` when that variable is set (it is, inside a
+GitHub Actions step), so the verdict is readable from the run's summary
+page without digging through logs. Outside CI the summary is skipped.
+
+``calibration_seconds()`` times a fixed pure-Python workload so
+wall-clock measurements can be compared across machines of different
+speeds: the perf gate diffs *calibrated* ratios (wall / calibration),
+which cancels the machine's scalar speed out of the comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+EXIT_PASS = 0
+EXIT_REGRESSION = 1
+EXIT_MISSING = 2
+
+#: repository root (gates live in benchmarks/)
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def step_summary(markdown: str) -> None:
+    """Append *markdown* to the GitHub Actions step summary, if any.
+
+    A no-op outside CI (``GITHUB_STEP_SUMMARY`` unset) and on any I/O
+    error — the gate's exit code is the contract, the summary is
+    best-effort decoration.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(markdown.rstrip() + "\n\n")
+    except OSError:
+        pass
+
+
+def verdict_summary(gate: str, verdict: str, detail: str = "") -> None:
+    """The one-line verdict block every gate emits."""
+    icon = {"PASS": "✅", "FAIL": "❌", "MISSING": "⚠️"}.get(verdict, "")
+    lines = [f"### {gate}: {icon} {verdict}"]
+    if detail:
+        lines.append("")
+        lines.append(detail)
+    step_summary("\n".join(lines))
+
+
+_CALIBRATION_CACHE: Optional[float] = None
+
+
+def calibration_seconds(rounds: int = 3) -> float:
+    """Wall seconds of a fixed pure-Python workload (best of *rounds*).
+
+    The workload mixes integer arithmetic, string slicing, and dict
+    churn — the same instruction mix the repair hot paths exercise — so
+    the ratio ``bench_wall / calibration_seconds`` is roughly
+    machine-independent. Cached per process.
+    """
+    global _CALIBRATION_CACHE
+    if _CALIBRATION_CACHE is not None:
+        return _CALIBRATION_CACHE
+    text = "abcdefghijklmnopqrstuvwxyz" * 8
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        total = 0
+        table = {}
+        for i in range(40_000):
+            total += i * 31 % 997
+            chunk = text[i % 26 : i % 26 + 13]
+            table[chunk] = table.get(chunk, 0) + 1
+        best = min(best, time.perf_counter() - start)
+        assert total and table  # keep the loop un-eliminable
+    _CALIBRATION_CACHE = best
+    return best

@@ -1,0 +1,131 @@
+"""Append one traced repair run to the ``BENCH_repair.json`` trajectory.
+
+The standard workload is the noisy HOSP slice the simjoin trajectory
+also uses (800 tuples at ``REPRO_BENCH_SCALE=smoke``, 5000 at
+``paper``), repaired end-to-end with the engine default (greedy-m,
+indexed detection) under ``trace=True``. Each run appends one
+normalized entry:
+
+* identity — scale, tuple/FD counts, algorithm, dataset fingerprint;
+* wall clocks — end-to-end seconds plus the per-phase span totals of
+  the run report, and the machine calibration constant
+  (:func:`benchmarks._gate.calibration_seconds`) that lets the gate
+  compare runs across machines;
+* counters — the unified registry snapshot (pair/kernel/cache work);
+* correctness — the repair output hash. The perf gate
+  (``benchmarks/check_perf_gate.py``) fails on any hash drift: a perf
+  win that changes repairs is a correctness regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/_trajectory.py [path/to/BENCH_repair.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _gate import ROOT, calibration_seconds  # noqa: E402
+from _harness import SCALE  # noqa: E402
+
+from repro.core.engine import Repairer  # noqa: E402
+from repro.core.distances import Weights  # noqa: E402
+from repro.generator.hosp import (  # noqa: E402
+    HOSP_FDS,
+    generate_hosp,
+    hosp_thresholds,
+)
+from repro.generator.noise import NoiseConfig, inject_noise  # noqa: E402
+
+DEFAULT_PATH = ROOT / "BENCH_repair.json"
+HOSP_SLICE_N = 5000 if SCALE == "paper" else 800
+ALGORITHM = "greedy-m"
+
+#: counters worth trending run over run (subset of the unified registry)
+TRENDED_COUNTERS = (
+    "possible_pairs",
+    "candidates_generated",
+    "pairs_examined",
+    "pairs_filtered",
+    "pairs_verified",
+    "kernel_calls",
+    "index_builds",
+    "index_reuses",
+    "cache_hits",
+    "cache_misses",
+    "fd_components",
+)
+
+
+def workload():
+    """The standard noisy HOSP slice (deterministic seeds)."""
+    clean = generate_hosp(HOSP_SLICE_N, rng=7)
+    relation, _errors = inject_noise(clean, HOSP_FDS, NoiseConfig(), rng=11)
+    return relation
+
+
+def run_entry() -> dict:
+    """One traced repair of the standard workload as a trajectory entry."""
+    relation = workload()
+    weights = Weights(0.5, 0.5)
+    thresholds = hosp_thresholds(weights=weights)
+    repairer = Repairer(
+        HOSP_FDS,
+        algorithm=ALGORITHM,
+        weights=weights,
+        thresholds=thresholds,
+        trace=True,
+    )
+    start = time.perf_counter()
+    result = repairer.repair(relation)
+    wall = time.perf_counter() - start
+    report = repairer.report()
+    counters = report.counters
+    return {
+        "scale": SCALE,
+        "n_tuples": HOSP_SLICE_N,
+        "n_fds": len(HOSP_FDS),
+        "algorithm": ALGORITHM,
+        "dataset_sha256": report.dataset["sha256"],
+        "wall_seconds": round(wall, 4),
+        "calibration_seconds": round(calibration_seconds(), 4),
+        "phase_seconds": {
+            name: round(seconds, 4)
+            for name, seconds in sorted(report.phase_totals().items())
+        },
+        "counters": {
+            key: counters[key] for key in TRENDED_COUNTERS if key in counters
+        },
+        "edits": len(result.edits),
+        "cost": round(result.cost, 9),
+        "output_hash": report.result["output_hash"],
+        "rss_peak_bytes": report.rss.get("peak_bytes"),
+    }
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    entry = run_entry()
+    trajectory = []
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+    trajectory.append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(
+        f"trajectory: {entry['algorithm']} on {entry['n_tuples']} tuples "
+        f"({entry['scale']}) — {entry['wall_seconds']}s wall, "
+        f"{entry['edits']} edit(s), hash {entry['output_hash']}; "
+        f"{len(trajectory)} entr{'y' if len(trajectory) == 1 else 'ies'} "
+        f"in {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

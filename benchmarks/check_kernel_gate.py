@@ -14,8 +14,10 @@ Two checks, run from the repository root::
    skips**: a skipped kernel-equivalence test would let a wrong kernel
    through on green CI.
 
-Exit status 0 on pass, 1 on failure, 2 when the environment cannot run
-the checks (missing pytest, missing test file).
+Exit status follows the shared gate conventions (``benchmarks/_gate.py``):
+0 on pass, 1 on failure, 2 when the environment cannot run the checks
+(missing pytest, missing test file). A verdict block is appended to
+``$GITHUB_STEP_SUMMARY`` when set.
 """
 
 from __future__ import annotations
@@ -26,7 +28,16 @@ import sys
 import time
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    ROOT,
+    verdict_summary,
+)
+
 TEST_FILE = ROOT / "tests" / "test_kernels.py"
 MIN_SPEEDUP = 2.0
 STRING_LENGTH = 200
@@ -61,7 +72,7 @@ def _time_kernel(fn, pairs) -> float:
     return best
 
 
-def check_speedup() -> int:
+def check_speedup() -> "tuple":
     sys.path.insert(0, str(ROOT / "src"))
     from repro.core.distances import levenshtein_myers, levenshtein_two_row
 
@@ -72,6 +83,11 @@ def check_speedup() -> int:
     myers = _time_kernel(levenshtein_myers, pairs)
     two_row = _time_kernel(levenshtein_two_row, pairs)
     speedup = two_row / myers if myers > 0 else float("inf")
+    detail = (
+        f"{PAIRS} pairs of {STRING_LENGTH}-char strings — "
+        f"myers `{myers * 1e3:.1f}ms`, two_row `{two_row * 1e3:.1f}ms`, "
+        f"speedup `{speedup:.1f}x` (floor `{MIN_SPEEDUP}x`)"
+    )
     print(
         f"gate: {PAIRS} pairs of {STRING_LENGTH}-char strings — "
         f"myers {myers * 1e3:.1f}ms, two_row {two_row * 1e3:.1f}ms, "
@@ -82,14 +98,14 @@ def check_speedup() -> int:
             f"gate: FAIL — Myers kernel below the {MIN_SPEEDUP}x floor",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        return EXIT_REGRESSION, detail
+    return EXIT_PASS, detail
 
 
 def check_equivalence_suite() -> int:
     if not TEST_FILE.exists():
         print(f"gate: {TEST_FILE} not found", file=sys.stderr)
-        return 2
+        return EXIT_MISSING
     proc = subprocess.run(
         [sys.executable, "-m", "pytest", str(TEST_FILE), "-q", "-rs",
          "-p", "no:cacheprovider"],
@@ -104,7 +120,7 @@ def check_equivalence_suite() -> int:
         sys.stderr.write(proc.stdout)
         sys.stderr.write(proc.stderr)
         print("gate: FAIL — kernel equivalence suite failed", file=sys.stderr)
-        return 1
+        return EXIT_REGRESSION
     if re.search(r"\bskipped\b", proc.stdout):
         sys.stderr.write(proc.stdout)
         print(
@@ -112,24 +128,31 @@ def check_equivalence_suite() -> int:
             "differential suite must actually run",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        return EXIT_REGRESSION
+    return EXIT_PASS
 
 
 def main() -> int:
     try:
-        status = check_speedup()
+        status, detail = check_speedup()
     except ImportError as exc:
         print(f"gate: cannot import the distance layer: {exc}",
               file=sys.stderr)
-        return 2
+        verdict_summary(
+            "kernel gate", "MISSING", f"cannot import the distance layer: {exc}"
+        )
+        return EXIT_MISSING
     suite = check_equivalence_suite()
-    if suite == 2 or status == 2:
-        return 2
+    if suite == EXIT_MISSING:
+        verdict_summary("kernel gate", "MISSING", f"`{TEST_FILE}` not found")
+        return EXIT_MISSING
     if status or suite:
-        return 1
+        extra = "" if suite == EXIT_PASS else "; equivalence suite failed"
+        verdict_summary("kernel gate", "FAIL", detail + extra)
+        return EXIT_REGRESSION
     print("gate: PASS")
-    return 0
+    verdict_summary("kernel gate", "PASS", detail)
+    return EXIT_PASS
 
 
 if __name__ == "__main__":

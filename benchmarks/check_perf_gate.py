@@ -1,0 +1,150 @@
+"""CI gate over the ``BENCH_repair.json`` end-to-end repair trajectory.
+
+Compares the **latest** entry the trajectory runner appended
+(``benchmarks/_trajectory.py``) against the **baseline** — the first
+entry with the same scale and tuple count (the committed one). Two
+checks:
+
+1. **Wall clock** — the calibrated wall time (``wall_seconds /
+   calibration_seconds``, which cancels machine speed) must not exceed
+   the baseline's by more than ``MAX_REGRESSION`` (25%).
+2. **Output hash** — the repair output hash must be identical. A perf
+   change that alters the produced repair is a correctness regression
+   and fails regardless of timing.
+
+Exit status follows the shared gate conventions (``benchmarks/_gate.py``):
+0 pass, 1 regression, 2 missing/malformed trajectory. A phase-timing
+comparison table is appended to ``$GITHUB_STEP_SUMMARY`` when set.
+
+Usage::
+
+    python benchmarks/check_perf_gate.py [path/to/BENCH_repair.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    ROOT,
+    step_summary,
+    verdict_summary,
+)
+
+DEFAULT_PATH = ROOT / "BENCH_repair.json"
+MAX_REGRESSION = 0.25
+
+
+def calibrated(entry: dict) -> float:
+    """Machine-independent wall measure of one entry."""
+    calibration = float(entry.get("calibration_seconds") or 0.0)
+    wall = float(entry["wall_seconds"])
+    return wall / calibration if calibration > 0 else wall
+
+
+def find_baseline(trajectory: list, latest: dict) -> dict:
+    """First entry of the same workload shape as *latest*."""
+    for entry in trajectory:
+        if (
+            entry.get("scale") == latest.get("scale")
+            and entry.get("n_tuples") == latest.get("n_tuples")
+            and entry.get("algorithm") == latest.get("algorithm")
+        ):
+            return entry
+    return latest
+
+
+def phase_table(baseline: dict, latest: dict) -> str:
+    """Markdown phase-timing comparison for the step summary."""
+    phases = sorted(
+        set(baseline.get("phase_seconds", {})) | set(latest.get("phase_seconds", {}))
+    )
+    lines = [
+        "| phase | baseline s | latest s |",
+        "|---|---:|---:|",
+    ]
+    for phase in phases:
+        base = baseline.get("phase_seconds", {}).get(phase)
+        last = latest.get("phase_seconds", {}).get(phase)
+        lines.append(
+            f"| {phase} | "
+            f"{'-' if base is None else f'{base:.4f}'} | "
+            f"{'-' if last is None else f'{last:.4f}'} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        print(
+            f"gate: {path} not found; run benchmarks/_trajectory.py first",
+            file=sys.stderr,
+        )
+        verdict_summary("perf gate", "MISSING", f"`{path.name}` not found")
+        return EXIT_MISSING
+    try:
+        trajectory = json.loads(path.read_text())
+        latest = trajectory[-1]
+        baseline = find_baseline(trajectory, latest)
+        base_rate = calibrated(baseline)
+        last_rate = calibrated(latest)
+        base_hash = baseline["output_hash"]
+        last_hash = latest["output_hash"]
+    except (ValueError, KeyError, IndexError, TypeError) as exc:
+        print(
+            f"gate: cannot read trajectory entries: {exc}", file=sys.stderr
+        )
+        verdict_summary(
+            "perf gate", "MISSING", f"malformed `{path.name}`: {exc}"
+        )
+        return EXIT_MISSING
+
+    ratio = last_rate / base_rate if base_rate > 0 else 1.0
+    print(
+        f"gate: {latest.get('algorithm')} on {latest.get('n_tuples')} tuples "
+        f"({latest.get('scale')}) — calibrated wall {last_rate:.2f} vs "
+        f"baseline {base_rate:.2f} ({ratio:.2f}x, ceiling "
+        f"{1 + MAX_REGRESSION:.2f}x); hash {last_hash} vs {base_hash}"
+    )
+    detail = (
+        f"calibrated wall `{last_rate:.2f}` vs baseline `{base_rate:.2f}` "
+        f"(`{ratio:.2f}x`, ceiling `{1 + MAX_REGRESSION:.2f}x`)\n\n"
+        + phase_table(baseline, latest)
+    )
+
+    if last_hash != base_hash:
+        print(
+            f"gate: FAIL — repair output hash changed "
+            f"({base_hash} -> {last_hash}); the repair itself differs",
+            file=sys.stderr,
+        )
+        verdict_summary(
+            "perf gate",
+            "FAIL",
+            f"repair output hash changed: `{base_hash}` → `{last_hash}`\n\n"
+            + detail,
+        )
+        return EXIT_REGRESSION
+    if baseline is not latest and ratio > 1 + MAX_REGRESSION:
+        print(
+            f"gate: FAIL — calibrated wall clock regressed {ratio:.2f}x "
+            f"(> {1 + MAX_REGRESSION:.2f}x)",
+            file=sys.stderr,
+        )
+        verdict_summary("perf gate", "FAIL", detail)
+        return EXIT_REGRESSION
+    print("gate: PASS")
+    verdict_summary("perf gate", "PASS", detail)
+    return EXIT_PASS
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,8 +4,10 @@ Reads the latest entry of the trajectory file the simjoin ablation
 benchmark appends (``benchmarks/test_ablation_simjoin.py``) and fails
 when the ``indexed`` strategy examined more candidate pairs than the
 ``filtered`` scan — the regression the candidate-generation layer
-exists to prevent. Exit status 0 on pass, 1 on failure, 2 when the
-trajectory is missing or malformed.
+exists to prevent. Exit status follows the shared gate conventions
+(``benchmarks/_gate.py``): 0 on pass, 1 on regression, 2 when the
+trajectory is missing or malformed. A verdict block is appended to
+``$GITHUB_STEP_SUMMARY`` when set.
 
 Usage::
 
@@ -18,7 +20,17 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_simjoin.json"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    ROOT,
+    verdict_summary,
+)
+
+DEFAULT_PATH = ROOT / "BENCH_simjoin.json"
 
 
 def main(argv: list) -> int:
@@ -26,7 +38,8 @@ def main(argv: list) -> int:
     if not path.exists():
         print(f"gate: {path} not found; run the simjoin ablation first",
               file=sys.stderr)
-        return 2
+        verdict_summary("simjoin gate", "MISSING", f"`{path.name}` not found")
+        return EXIT_MISSING
     try:
         trajectory = json.loads(path.read_text())
         entry = trajectory[-1]
@@ -36,7 +49,10 @@ def main(argv: list) -> int:
     except (ValueError, KeyError, IndexError, TypeError) as exc:
         print(f"gate: cannot read latest trajectory entry: {exc}",
               file=sys.stderr)
-        return 2
+        verdict_summary(
+            "simjoin gate", "MISSING", f"malformed `{path.name}`: {exc}"
+        )
+        return EXIT_MISSING
 
     possible = entry.get("possible_pairs", 0)
     print(
@@ -44,16 +60,27 @@ def main(argv: list) -> int:
         f"possible={possible} indexed_examined={indexed} "
         f"filtered_examined={filtered}"
     )
+    detail = (
+        f"scale `{entry.get('scale')}`, n `{entry.get('n_tuples')}` — "
+        f"possible `{possible}`, indexed examined `{indexed}`, "
+        f"filtered examined `{filtered}`"
+    )
     if indexed > filtered:
         print(
             "gate: FAIL — indexed examined more candidate pairs than the "
             "filtered scan",
             file=sys.stderr,
         )
-        return 1
+        verdict_summary("simjoin gate", "FAIL", detail)
+        return EXIT_REGRESSION
     reduction = 1.0 - indexed / possible if possible else 0.0
     print(f"gate: PASS — indexed pair reduction {reduction:.1%}")
-    return 0
+    verdict_summary(
+        "simjoin gate",
+        "PASS",
+        detail + f"; indexed pair reduction `{reduction:.1%}`",
+    )
+    return EXIT_PASS
 
 
 if __name__ == "__main__":

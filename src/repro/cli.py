@@ -8,6 +8,14 @@ Usage::
     python -m repro data.csv --fd "zip -> city" --algorithm exact-s \
         --tau 0.4 --numeric score --report
 
+    python -m repro data.csv --fd "zip -> city" --trace --report run.json
+
+``--trace`` records the run through the observability layer
+(``docs/observability.md``) and prints a phase-timing table;
+``--report PATH`` writes the structured JSON run report (implies
+``--trace``). A bare ``--report`` keeps its historical meaning — print
+every cell edit (also available as ``--edits``).
+
 Exit status is 0 on success, 2 on usage errors.
 """
 
@@ -25,6 +33,7 @@ from repro.core.distances import KERNELS, Weights, set_default_kernel
 from repro.dataset.csvio import read_csv, write_csv
 from repro.exec import RepairConfig
 from repro.index.simjoin import STRATEGIES
+from repro.obs import format_phase_table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,7 +131,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-component execution statistics",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record the run through the observability layer and print "
+            "a phase-timing table"
+        ),
+    )
+    parser.add_argument(
         "--report",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help=(
+            "with PATH: write the structured JSON run report there "
+            "(implies --trace); bare: print every cell edit (legacy "
+            "spelling of --edits)"
+        ),
+    )
+    parser.add_argument(
+        "--edits",
         action="store_true",
         help="print every cell edit",
     )
@@ -154,6 +183,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    report_path: Optional[Path] = (
+        Path(args.report) if isinstance(args.report, str) else None
+    )
+    print_edits = args.edits or args.report is True
+    trace = args.trace or report_path is not None
+
     try:
         config = RepairConfig(
             algorithm=args.algorithm,
@@ -166,6 +201,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fallback="greedy",
             n_jobs=args.n_jobs,
             component_budget=args.component_budget,
+            trace=trace,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -208,9 +244,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{comp['seconds']:.3f}s){flag}"
             )
 
-    if args.report:
+    if print_edits:
         for edit in result.edits:
             print(f"  {edit}")
+
+    if trace:
+        report = result.run_report
+        if args.trace and report is not None:
+            print("phase timings:")
+            print(format_phase_table(report))
+        if report_path is not None and report is not None:
+            report_path.write_text(report.to_json(indent=2) + "\n")
+            print(f"run report written to {report_path}")
 
     if args.dry_run:
         print("(dry run: nothing written)")

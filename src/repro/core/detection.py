@@ -39,6 +39,9 @@ class DetectionReport:
     stats: Dict[str, object] = field(default_factory=dict)
     #: phase name -> wall seconds, mirroring ``RepairResult.timings``
     timings: Dict[str, float] = field(default_factory=dict)
+    #: the :class:`~repro.obs.RunReport` of this detection when run with
+    #: ``trace=True`` through the engine; ``None`` otherwise
+    run_report: object = None
 
     @property
     def total_violations(self) -> int:

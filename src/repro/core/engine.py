@@ -40,6 +40,14 @@ from repro.core.repair import RepairResult, squash_edits
 from repro.core.thresholds import suggest_thresholds
 from repro.dataset.relation import Relation
 from repro.exec.config import RepairConfig
+from repro.obs import (
+    RunReport,
+    Tracer,
+    activate,
+    build_report,
+    repair_output_hash,
+    span,
+)
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Stopwatch
 
@@ -206,6 +214,7 @@ class Repairer:
         base = config if config is not None else RepairConfig()
         self.config: RepairConfig = base.merged(**overrides)
         self.fds: List[FD] = list(fds)
+        self._last_report: Optional[RunReport] = None
 
     # -- config passthrough (the pre-1.1 attribute surface) -------------
     @property
@@ -306,6 +315,54 @@ class Repairer:
 
         return RepairExecutor(self.config)
 
+    # -- observability ---------------------------------------------------
+    def _tracer(self, relation: Relation, operation: str) -> Optional[Tracer]:
+        """A fresh run tracer when ``config.trace`` is on, else ``None``."""
+        if not self.config.trace:
+            return None
+        return Tracer(
+            "run",
+            operation=operation,
+            rows=len(relation),
+            fds=[fd.name for fd in self.fds],
+            algorithm=self.config.algorithm,
+        )
+
+    def _finish_report(
+        self,
+        tracer: Optional[Tracer],
+        relation: Relation,
+        operation: str,
+        result_digest: Dict[str, object],
+    ) -> Optional[RunReport]:
+        if tracer is None:
+            return None
+        report = build_report(
+            tracer,
+            operation=operation,
+            config=self.config,
+            relation=relation,
+            result=result_digest,
+        )
+        self._last_report = report
+        return report
+
+    def report(self) -> RunReport:
+        """The :class:`~repro.obs.RunReport` of the last traced run.
+
+        Requires ``trace=True`` in the config (or the CLI ``--trace`` /
+        ``--report``): untraced runs keep the instrumentation points as
+        no-ops and record nothing. The report covers the most recent
+        :meth:`repair`, :meth:`detect`, or :meth:`repair_many` call.
+        """
+        if self._last_report is None:
+            raise RuntimeError(
+                "no traced run to report: construct the Repairer with "
+                "trace=True (or RepairConfig(trace=True)) and call "
+                "repair()/detect() first"
+            )
+        return self._last_report
+
     # ------------------------------------------------------------------
     def detect(self, relation: Relation):
         """Detection only: the FT-violations this repairer would resolve.
@@ -319,26 +376,46 @@ class Repairer:
         FD under ``n_jobs``.
         """
         validate_constraints(self.fds, relation.schema)
+        tracer = self._tracer(relation, "detect")
         watch = Stopwatch()
-        with watch.measure("model"):
-            model = self.build_model(relation)
-        with watch.measure("thresholds"):
-            thresholds = self.resolve_thresholds(relation, model)
-        report = self._executor().detect(relation, self.fds, thresholds)
+        with activate(tracer):
+            with watch.measure("model"), span("model"):
+                model = self.build_model(relation)
+            with watch.measure("thresholds"), span("thresholds"):
+                thresholds = self.resolve_thresholds(relation, model)
+            report = self._executor().detect(relation, self.fds, thresholds)
         report.timings.update(watch.totals)
+        report.run_report = self._finish_report(
+            tracer,
+            relation,
+            "detect",
+            {"violations": report.total_violations},
+        )
         return report
 
     # ------------------------------------------------------------------
     def repair(self, relation: Relation) -> RepairResult:
         """Repair *relation*; the input is never mutated."""
         validate_constraints(self.fds, relation.schema)
+        tracer = self._tracer(relation, "repair")
         watch = Stopwatch()
-        with watch.measure("model"):
-            model = self.build_model(relation)
-        with watch.measure("thresholds"):
-            thresholds = self.resolve_thresholds(relation, model)
-        result = self._executor().repair(relation, self.fds, thresholds)
+        with activate(tracer):
+            with watch.measure("model"), span("model"):
+                model = self.build_model(relation)
+            with watch.measure("thresholds"), span("thresholds"):
+                thresholds = self.resolve_thresholds(relation, model)
+            result = self._executor().repair(relation, self.fds, thresholds)
         result.timings.update(watch.totals)
+        result.run_report = self._finish_report(
+            tracer,
+            relation,
+            "repair",
+            {
+                "edits": len(result.edits),
+                "cost": round(result.cost, 9),
+                "output_hash": repair_output_hash(result.edits, result.cost),
+            },
+        )
         return result
 
     def repair_many(
@@ -353,14 +430,39 @@ class Repairer:
         """
         watch = Stopwatch()
         jobs = []
-        with watch.measure("thresholds"):
-            for relation in relations:
-                validate_constraints(self.fds, relation.schema)
-                model = self.build_model(relation)
-                jobs.append(
-                    (relation, self.fds, self.resolve_thresholds(relation, model))
-                )
-        results = self._executor().repair_many(jobs)
+        tracer: Optional[Tracer] = None
+        if self.config.trace and relations:
+            tracer = Tracer(
+                "run",
+                operation="repair_many",
+                jobs=len(relations),
+                fds=[fd.name for fd in self.fds],
+                algorithm=self.config.algorithm,
+            )
+        with activate(tracer):
+            with watch.measure("thresholds"), span("thresholds"):
+                for relation in relations:
+                    validate_constraints(self.fds, relation.schema)
+                    model = self.build_model(relation)
+                    jobs.append(
+                        (relation, self.fds,
+                         self.resolve_thresholds(relation, model))
+                    )
+            results = self._executor().repair_many(jobs)
         for result in results:
             result.timings.setdefault("thresholds", watch.total("thresholds"))
+        if tracer is not None and relations:
+            # one whole-batch report, fingerprinted on the first relation
+            batch = self._finish_report(
+                tracer,
+                relations[0],
+                "repair_many",
+                {
+                    "jobs": len(results),
+                    "edits": sum(len(r.edits) for r in results),
+                    "cost": round(sum(r.cost for r in results), 9),
+                },
+            )
+            for result in results:
+                result.run_report = batch
         return results

@@ -25,6 +25,7 @@ from repro.core.violation import Pattern, group_patterns
 from repro.dataset.relation import Relation
 from repro.index.registry import AttributeIndexRegistry
 from repro.index.simjoin import SimilarityJoin
+from repro.obs import span
 
 
 class ViolationGraph:
@@ -83,24 +84,28 @@ class ViolationGraph:
         overlap in attributes); counters stay per-join deltas, so
         summing them over shared-registry graphs remains correct.
         """
-        if grouping:
-            patterns = group_patterns(relation, fd)
-        else:
-            bound = fd.bind(relation.schema)
-            patterns = [
-                Pattern(relation.project_indexes(tid, bound.indexes), (tid,))
-                for tid in relation.tids()
+        with span("graph", fd=fd.name) as graph_span:
+            if grouping:
+                patterns = group_patterns(relation, fd)
+            else:
+                bound = fd.bind(relation.schema)
+                patterns = [
+                    Pattern(relation.project_indexes(tid, bound.indexes), (tid,))
+                    for tid in relation.tids()
+                ]
+            join = SimilarityJoin(
+                fd, model, tau, strategy=join_strategy, registry=registry
+            )
+            position = {id(p): i for i, p in enumerate(patterns)}
+            edges = [
+                (position[id(v.left)], position[id(v.right)], v.distance)
+                for v in join.join(patterns)
             ]
-        join = SimilarityJoin(
-            fd, model, tau, strategy=join_strategy, registry=registry
-        )
-        position = {id(p): i for i, p in enumerate(patterns)}
-        edges = [
-            (position[id(v.left)], position[id(v.right)], v.distance)
-            for v in join.join(patterns)
-        ]
-        graph = cls(fd, model, tau, patterns, edges)
-        graph.join_counters = join.counters()
+            graph = cls(fd, model, tau, patterns, edges)
+            graph.join_counters = join.counters()
+            graph_span.set(
+                vertices=len(graph.patterns), edges=graph.edge_count
+            )
         return graph
 
     # ------------------------------------------------------------------

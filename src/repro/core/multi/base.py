@@ -22,6 +22,7 @@ from repro.core.multi.target_tree import TargetTree
 from repro.core.multi.targets import join_targets, nearest_target_naive
 from repro.core.repair import CellEdit, edits_from_assignment
 from repro.dataset.relation import Relation
+from repro.obs import span
 
 
 def component_projections(
@@ -125,26 +126,36 @@ def repair_with_sets(
         return [], 0.0, stats
 
     tree: TargetTree | None = None
-    if use_tree:
-        tree = TargetTree(fds, elements_per_fd, model)
-        lookup = tree.nearest_target
-        stats["target_tree_nodes"] = tree.node_count
-    else:
-        targets = join_targets(fds, elements_per_fd)
-        stats["targets_materialized"] = len(targets)
+    with span("targets/build", fds=[fd.name for fd in fds]) as build_span:
+        if use_tree:
+            tree = TargetTree(fds, elements_per_fd, model)
+            lookup = tree.nearest_target
+            stats["target_tree_nodes"] = tree.node_count
+            build_span.set(kind="tree", nodes=tree.node_count)
+        else:
+            targets = join_targets(fds, elements_per_fd)
+            stats["targets_materialized"] = len(targets)
+            build_span.set(kind="materialized", targets=len(targets))
 
-        def lookup(values: Tuple):
-            return nearest_target_naive(model, targets, values)
+            def lookup(values: Tuple):
+                return nearest_target_naive(model, targets, values)
 
-    tid_to_values: Dict[int, Tuple] = {}
-    total = 0.0
-    for projection in unresolved:
-        target, cost = lookup(projection)
-        total += cost * len(projections[projection])
-        for tid in projections[projection]:
-            tid_to_values[tid] = target.values
-    if tree is not None:
-        stats["target_tree_nodes_visited"] = tree.nodes_visited
-        stats["target_tree_nodes_pruned"] = tree.nodes_pruned
+    with span("targets/search", unresolved=len(unresolved)) as search_span:
+        tid_to_values: Dict[int, Tuple] = {}
+        total = 0.0
+        for projection in unresolved:
+            target, cost = lookup(projection)
+            total += cost * len(projections[projection])
+            for tid in projections[projection]:
+                tid_to_values[tid] = target.values
+        if tree is not None:
+            stats["target_tree_nodes_visited"] = tree.nodes_visited
+            stats["target_tree_nodes_pruned"] = tree.nodes_pruned
+            search_span.set(
+                searches=tree.searches,
+                nodes_visited=tree.nodes_visited,
+                nodes_pruned=tree.nodes_pruned,
+                f_trajectory=[round(f, 6) for f in tree.f_trajectory],
+            )
     edits = edits_from_assignment(relation, attributes, tid_to_values)
     return edits, total, stats

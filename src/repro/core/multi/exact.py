@@ -36,6 +36,7 @@ from repro.core.single.mis import (
 )
 from repro.dataset.relation import Relation
 from repro.index.registry import AttributeIndexRegistry
+from repro.obs import span
 
 
 class CombinationLimitError(RuntimeError):
@@ -239,25 +240,35 @@ def repair_multi_fd_exact(
     combos_scored = 0
     combos_pruned = 0
     combos_infeasible = 0
-    for combo in itertools.product(*set_lists):
-        if do_prune and best_cost < float("inf"):
-            bound = sum(solo_bounds[i][combo[i]] for i in family)
-            if bound > best_cost:
-                combos_pruned += 1
+    with span(
+        "combinations", total=total_combinations, prune=do_prune
+    ) as combo_span:
+        for combo in itertools.product(*set_lists):
+            if do_prune and best_cost < float("inf"):
+                bound = sum(solo_bounds[i][combo[i]] for i in family)
+                if bound > best_cost:
+                    combos_pruned += 1
+                    continue
+            elements = [
+                [graphs[i].patterns[v].values for v in sorted(combo[i])]
+                for i in range(len(fds))
+            ]
+            try:
+                cost = evaluate_sets(
+                    relation, fds, model, elements, use_tree=use_tree
+                )
+            except TargetJoinError:
+                combos_infeasible += 1
                 continue
-        elements = [
-            [graphs[i].patterns[v].values for v in sorted(combo[i])]
-            for i in range(len(fds))
-        ]
-        try:
-            cost = evaluate_sets(relation, fds, model, elements, use_tree=use_tree)
-        except TargetJoinError:
-            combos_infeasible += 1
-            continue
-        combos_scored += 1
-        if cost < best_cost:
-            best_cost = cost
-            best_elements = elements
+            combos_scored += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_elements = elements
+        combo_span.set(
+            scored=combos_scored,
+            pruned=combos_pruned,
+            infeasible=combos_infeasible,
+        )
 
     if best_elements is None:
         raise TargetJoinError(

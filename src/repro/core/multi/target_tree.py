@@ -29,6 +29,10 @@ from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
 from repro.core.multi.fdgraph import component_attributes
 from repro.core.multi.targets import Target, TargetJoinError
+from repro.obs import current_tracer
+
+#: max recorded f-values of the first traced search (keeps reports small)
+_TRAJECTORY_CAP = 512
 
 
 class _Node:
@@ -92,6 +96,12 @@ class TargetTree:
         self.searches = 0
         self.nodes_visited = 0
         self.nodes_pruned = 0
+        # Trace-gated f-value trajectory: the popped best-first f values
+        # of the *first* search only, capped — enough to plot how fast
+        # the bound converges without touching the hot path when off.
+        tracer = current_tracer()
+        self._record_trajectory = tracer is not None and tracer.enabled
+        self.f_trajectory: List[float] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -222,8 +232,12 @@ class TargetTree:
         ]
         c_min = float("inf")
         best: Optional[_Node] = None
+        record = self._record_trajectory and self.searches == 1
+        trajectory = self.f_trajectory
         while heap:
             f_value, _, depth, node = heapq.heappop(heap)
+            if record and len(trajectory) < _TRAJECTORY_CAP:
+                trajectory.append(f_value)
             if f_value >= c_min:
                 # Everything left in the queue is at least as bad.
                 break

@@ -56,6 +56,10 @@ class RepairResult:
     timings:
         Phase name -> wall seconds (``model``, ``thresholds``,
         ``execute``). Empty for results built outside the engine.
+    run_report:
+        The :class:`~repro.obs.RunReport` of this run when the engine
+        ran with ``trace=True`` (spans tree, unified counters, config,
+        dataset fingerprint); ``None`` otherwise.
     """
 
     relation: Relation
@@ -63,6 +67,7 @@ class RepairResult:
     cost: float
     stats: Dict[str, Any] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
+    run_report: Optional[Any] = None
 
     @property
     def edited_cells(self) -> List[Cell]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.core.graph import ViolationGraph
+from repro.obs import span
 
 
 class ExpansionLimitError(RuntimeError):
@@ -119,53 +120,59 @@ def enumerate_maximal_independent_sets(
         stats = ExpansionStats()
     if not order:
         return []
-    min_out = _min_outgoing_cost(graph, order) if prune else {}
+    with span(
+        "mis/expand", fd=graph.fd.name, vertices=len(order), prune=prune
+    ) as expand_span:
+        min_out = _min_outgoing_cost(graph, order) if prune else {}
 
-    current: List[FrozenSet[int]] = [frozenset({order[0]})]
-    stats.nodes_generated += 1
-    best_upper = float("inf")
+        current: List[FrozenSet[int]] = [frozenset({order[0]})]
+        stats.nodes_generated += 1
+        best_upper = float("inf")
 
-    for level in range(1, len(order)):
-        stats.levels = level
-        vertex = order[level]
-        # Vertices decided so far (D_i of Eq. 5). `vertex` itself is NOT
-        # part of the bound's prefix: it may still join the set at zero
-        # cost, so charging its min-out repair would overestimate the
-        # bound and prune optimal branches.
-        decided = order[:level]
-        prefix = order[: level + 1]
-        if prune:
+        for level in range(1, len(order)):
+            stats.levels = level
+            vertex = order[level]
+            # Vertices decided so far (D_i of Eq. 5). `vertex` itself is NOT
+            # part of the bound's prefix: it may still join the set at zero
+            # cost, so charging its min-out repair would overestimate the
+            # bound and prune optimal branches.
+            decided = order[:level]
+            prefix = order[: level + 1]
+            if prune:
+                for node in current:
+                    best_upper = min(
+                        best_upper, _upper_bound(graph, order, node)
+                    )
+            next_level: Dict[FrozenSet[int], None] = {}
+
+            def emit(candidate: FrozenSet[int]) -> None:
+                if candidate in next_level:
+                    stats.duplicates_removed += 1
+                    return
+                next_level[candidate] = None
+                stats.nodes_generated += 1
+                if max_nodes is not None and stats.nodes_generated > max_nodes:
+                    raise ExpansionLimitError(
+                        f"expansion exceeded {max_nodes} nodes at level {level}"
+                    )
+
             for node in current:
-                best_upper = min(best_upper, _upper_bound(graph, order, node))
-        next_level: Dict[FrozenSet[int], None] = {}
-
-        def emit(candidate: FrozenSet[int]) -> None:
-            if candidate in next_level:
-                stats.duplicates_removed += 1
-                return
-            next_level[candidate] = None
-            stats.nodes_generated += 1
-            if max_nodes is not None and stats.nodes_generated > max_nodes:
-                raise ExpansionLimitError(
-                    f"expansion exceeded {max_nodes} nodes at level {level}"
-                )
-
-        for node in current:
-            if prune and _lower_bound(decided, node, min_out) > best_upper:
-                stats.nodes_pruned += 1
-                continue
-            adjacency = graph.neighbors(vertex)
-            if not any(member in adjacency for member in node):
-                emit(node | {vertex})
-            else:
-                emit(node)  # still maximal in the larger prefix
-                candidate = graph.consistent_subset(vertex, node) | {vertex}
-                if _is_maximal_in_prefix(graph, candidate, prefix):
-                    emit(frozenset(candidate))
+                if prune and _lower_bound(decided, node, min_out) > best_upper:
+                    stats.nodes_pruned += 1
+                    continue
+                adjacency = graph.neighbors(vertex)
+                if not any(member in adjacency for member in node):
+                    emit(node | {vertex})
                 else:
-                    stats.non_maximal_discarded += 1
-        current = list(next_level)
-    stats.sets_enumerated = len(current)
+                    emit(node)  # still maximal in the larger prefix
+                    candidate = graph.consistent_subset(vertex, node) | {vertex}
+                    if _is_maximal_in_prefix(graph, candidate, prefix):
+                        emit(frozenset(candidate))
+                    else:
+                        stats.non_maximal_discarded += 1
+            current = list(next_level)
+        stats.sets_enumerated = len(current)
+        expand_span.set(**stats.as_dict())
     return current
 
 

@@ -18,6 +18,11 @@ The execution-layer knobs are new in this layer:
   discovering the blow-up mid-search).
 * ``seed`` — RNG seed for threshold sampling (the old ``rng``
   parameter).
+* ``trace`` — record the run through the observability layer
+  (:mod:`repro.obs`): hierarchical phase spans, unified counters, and a
+  structured JSON run report via ``Repairer.report()`` / the CLI
+  ``--trace`` / ``--report out.json``. Off by default; the
+  instrumentation points stay no-ops (see ``docs/observability.md``).
 
 ``join_strategy`` defaults to ``"indexed"`` — the sub-quadratic
 candidate-generation detection path (see ``docs/detection.md``), which
@@ -61,6 +66,7 @@ class RepairConfig:
     n_jobs: int = 1
     component_budget: Optional[int] = None
     seed: object = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         # Deferred import: the engine imports this module at load time.

@@ -59,6 +59,7 @@ from repro.exec.config import RepairConfig
 from repro.exec.stats import DegradedRepairWarning, ExecutionStats
 from repro.index.registry import AttributeIndexRegistry
 from repro.index.simjoin import SimilarityJoin
+from repro.obs import CounterRegistry, Tracer, activate, current_tracer, span
 
 #: exact algorithm -> the greedy algorithm it degrades to
 GREEDY_COUNTERPART = {"exact-m": "greedy-m", "exact-s": "greedy-s"}
@@ -102,6 +103,10 @@ class ComponentOutcome:
     cache_hits: int
     cache_misses: int
     captured_warnings: List[Tuple[str, str]] = field(default_factory=list)
+    #: serialized worker-local span tree (n_jobs>1 with trace on); the
+    #: parent grafts it under its live ``execute`` span. ``None`` when
+    #: the task ran in-process (its spans nested live — never both).
+    trace: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -132,6 +137,8 @@ class DetectionOutcome:
     blocker: Optional[str]
     cache_hits: int
     cache_misses: int
+    #: serialized worker-local span tree (see ComponentOutcome.trace)
+    trace: Optional[Dict[str, Any]] = None
 
 
 # ----------------------------------------------------------------------
@@ -314,7 +321,35 @@ def _repair_sequential(
 # Worker entry points (must be module-level for pickling)
 # ----------------------------------------------------------------------
 def _run_component_task(task: ComponentTask) -> ComponentOutcome:
-    """Execute one component task; pure function of the task."""
+    """Execute one component task; pure function of the task.
+
+    Tracing: in-process (the serial path) an active tracer already
+    exists, so the task's spans nest live under the parent's
+    ``execute`` span. In a worker process there is no inherited tracer;
+    when the config asks for tracing, a worker-local tracer records the
+    task and ships its serialized tree back in ``outcome.trace`` for
+    the parent to graft. Exactly one of the two happens, which is what
+    keeps merged span trees free of double counting at every n_jobs.
+    """
+    tracer = current_tracer()
+    attrs = {
+        "index": task.index,
+        "group": task.group,
+        "fds": [fd.name for fd in task.fds],
+    }
+    if tracer is not None and tracer.enabled:
+        with tracer.span("component", **attrs):
+            return _component_outcome(task)
+    if task.config.trace:
+        local = Tracer("component", **attrs)
+        with activate(local):
+            outcome = _component_outcome(task)
+        outcome.trace = local.serialize()
+        return outcome
+    return _component_outcome(task)
+
+
+def _component_outcome(task: ComponentTask) -> ComponentOutcome:
     model = shared_model(
         task.relation, task.config.weights, task.config.distance_overrides
     )
@@ -349,7 +384,25 @@ def _run_component_task(task: ComponentTask) -> ComponentOutcome:
 
 
 def _run_detection_task(task: DetectionTask) -> DetectionOutcome:
-    """Detect the FT-violations of one FD; pure function of the task."""
+    """Detect the FT-violations of one FD; pure function of the task.
+
+    Tracing follows the same live-or-shipped split as
+    :func:`_run_component_task`.
+    """
+    tracer = current_tracer()
+    if tracer is not None and tracer.enabled:
+        with tracer.span("fd", index=task.index, fd=task.fd.name):
+            return _detection_outcome(task)
+    if task.config.trace:
+        local = Tracer("fd", index=task.index, fd=task.fd.name)
+        with activate(local):
+            outcome = _detection_outcome(task)
+        outcome.trace = local.serialize()
+        return outcome
+    return _detection_outcome(task)
+
+
+def _detection_outcome(task: DetectionTask) -> DetectionOutcome:
     model = shared_model(
         task.relation, task.config.weights, task.config.distance_overrides
     )
@@ -508,6 +561,7 @@ class RepairExecutor:
                 "wall_seconds": elapsed,
                 "worker_utilization": _utilization(outcomes, elapsed, workers),
                 "components": per_fd,
+                "violations": sum(len(o.violations) for o in outcomes),
                 "cache_hits": sum(o.cache_hits for o in outcomes),
                 "cache_misses": sum(o.cache_misses for o in outcomes),
                 "possible_pairs": sum(o.possible_pairs for o in outcomes),
@@ -522,6 +576,7 @@ class RepairExecutor:
                 "index_reuses": sum(o.index_reuses for o in outcomes),
             }
         )
+        _register_stats(stats)
         return DetectionReport(
             relation_size=len(relation),
             thresholds={fd.name: float(thresholds[fd]) for fd in fds},
@@ -539,23 +594,34 @@ class RepairExecutor:
         Returns (outcomes, elapsed wall seconds, effective workers).
         Warnings captured inside tasks are re-emitted here, in task
         order, so the warning stream is identical for every n_jobs.
+        When tracing, the whole run is one ``execute`` span; worker-local
+        span trees shipped in ``outcome.trace`` are grafted under it in
+        task order (the in-process path nested its spans live instead).
         """
         workers = self.config.effective_jobs(len(tasks))
         start = time.perf_counter()
-        if workers <= 1 or len(tasks) <= 1:
-            workers = 1
-            outcomes = [runner(task) for task in tasks]
-        else:
-            try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [pool.submit(runner, task) for task in tasks]
-                    outcomes = [future.result() for future in futures]
-            except (TypeError, AttributeError) as exc:  # unpicklable payload
-                raise RuntimeError(
-                    "parallel execution requires picklable FDs, relations "
-                    "and distance overrides (module-level functions, not "
-                    f"lambdas); underlying error: {exc}"
-                ) from exc
+        with span("execute", tasks=len(tasks)) as execute_span:
+            if workers <= 1 or len(tasks) <= 1:
+                workers = 1
+                outcomes = [runner(task) for task in tasks]
+            else:
+                try:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        futures = [pool.submit(runner, task) for task in tasks]
+                        outcomes = [future.result() for future in futures]
+                except (TypeError, AttributeError) as exc:  # unpicklable
+                    raise RuntimeError(
+                        "parallel execution requires picklable FDs, "
+                        "relations and distance overrides (module-level "
+                        f"functions, not lambdas); underlying error: {exc}"
+                    ) from exc
+            execute_span.set(n_jobs=workers)
+            tracer = current_tracer()
+            if tracer is not None and tracer.enabled:
+                for outcome in outcomes:
+                    tree = getattr(outcome, "trace", None)
+                    if tree:
+                        tracer.graft(tree)
         elapsed = time.perf_counter() - start
         for outcome in outcomes:
             _reemit(getattr(outcome, "captured_warnings", ()))
@@ -595,9 +661,23 @@ class RepairExecutor:
         degraded = [o.degraded for o in outcomes if o.degraded is not None]
         stats["degraded"] = bool(degraded)
         stats["degraded_components"] = degraded
+        _register_stats(stats)
         merged.stats = stats
         merged.timings["execute"] = elapsed
         return merged
+
+
+def _register_stats(stats: ExecutionStats) -> None:
+    """Expose *stats* as the run's unified counter view.
+
+    The registry is **backed by the ExecutionStats dict itself** — the
+    stats object is the registry's storage, so the run report's
+    ``counters`` section and ``result.stats`` read the same cells
+    rather than keeping parallel bookkeeping (``docs/observability.md``).
+    """
+    tracer = current_tracer()
+    if tracer is not None and tracer.enabled:
+        tracer.register(CounterRegistry(backing=stats))
 
 
 def _utilization(outcomes, elapsed: float, workers: int) -> float:

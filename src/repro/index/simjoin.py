@@ -55,6 +55,7 @@ from repro.core.violation import (
 from repro.index.blocking import BlockPlan, candidate_pairs, plan_blocker
 from repro.index.qgram import passes_count_filter
 from repro.index.registry import AttributeIndexRegistry
+from repro.obs import span
 
 STRATEGIES = ("naive", "filtered", "qgram", "indexed")
 
@@ -176,27 +177,33 @@ class SimilarityJoin:
         self._reset_counters()
         self.plan = None
         model, registry = self.model, self.registry
-        kernel_calls0 = model.kernel_calls + registry.kernel_calls
-        builds0 = registry.index_builds
-        reuses0 = registry.index_reuses
-        n = len(patterns)
-        self.possible_pairs = n * (n - 1) // 2
-        if self.strategy == "indexed":
-            self.plan = plan_blocker(
-                self.fd, self.model, self.tau, patterns, self.q, registry
-            )
-            if self.plan.kind != "scan":
-                out = self._join_indexed(patterns)
+        with span(
+            "detect", fd=self.fd.name, strategy=self.strategy, tau=self.tau
+        ) as detect_span:
+            kernel_calls0 = model.kernel_calls + registry.kernel_calls
+            builds0 = registry.index_builds
+            reuses0 = registry.index_reuses
+            n = len(patterns)
+            self.possible_pairs = n * (n - 1) // 2
+            if self.strategy == "indexed":
+                self.plan = plan_blocker(
+                    self.fd, self.model, self.tau, patterns, self.q, registry
+                )
+                if self.plan.kind != "scan":
+                    out = self._join_indexed(patterns)
+                else:
+                    # no indexable attribute: fall back to the filtered scan
+                    out = self._join_scan(patterns)
             else:
-                # no indexable attribute: fall back to the filtered scan
                 out = self._join_scan(patterns)
-        else:
-            out = self._join_scan(patterns)
-        self.kernel_calls = (
-            model.kernel_calls + registry.kernel_calls - kernel_calls0
-        )
-        self.index_builds = registry.index_builds - builds0
-        self.index_reuses = registry.index_reuses - reuses0
+            self.kernel_calls = (
+                model.kernel_calls + registry.kernel_calls - kernel_calls0
+            )
+            self.index_builds = registry.index_builds - builds0
+            self.index_reuses = registry.index_reuses - reuses0
+            # Counters land as span attributes only; the executor publishes
+            # the unified registry, so nothing is double counted.
+            detect_span.set(violations=len(out), **self.counters())
         return out
 
     def _join_indexed(self, patterns: Sequence[Pattern]) -> List[FTViolation]:

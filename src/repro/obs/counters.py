@@ -1,0 +1,108 @@
+"""Counter registries: one unified store for every run counter.
+
+Before the observability layer, each subsystem kept its own counters —
+``ExecutionStats`` in the executor, ``ViolationGraph.join_counters`` in
+detection, ``kernel_calls`` on the distance model — and consumers had to
+know which pocket to look in. A :class:`CounterRegistry` makes one
+mapping the single source of truth:
+
+* it can be **backed by an existing mapping** (the executor backs its
+  registry by the :class:`~repro.exec.stats.ExecutionStats` dict it is
+  assembling, so the stats object *is* the registry view — writes go to
+  one store, there is no parallel copy to drift);
+* registries registered with the active :class:`~repro.obs.trace.Tracer`
+  are summed into the run report's unified ``counters`` section;
+* :meth:`snapshot` filters to scalar numerics, which is exactly the
+  JSON-safe, mergeable subset worker processes can ship back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, MutableMapping, Optional, Union
+
+Number = Union[int, float]
+
+
+def _is_counter_value(value: object) -> bool:
+    """Scalar numerics only; bools are flags, not counters."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class CounterRegistry:
+    """A flat ``name -> number`` counter store over a pluggable backing.
+
+    >>> reg = CounterRegistry()
+    >>> reg.inc("kernel_calls", 3)
+    3
+    >>> reg.inc("kernel_calls")
+    4
+    >>> reg.snapshot()
+    {'kernel_calls': 4}
+
+    Backed mode — the registry writes through to an existing mapping::
+
+        stats = ExecutionStats()
+        reg = CounterRegistry(backing=stats)
+        reg.inc("pairs_examined", 10)   # visible as stats["pairs_examined"]
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(
+        self, backing: Optional[MutableMapping[str, object]] = None
+    ) -> None:
+        self.data: MutableMapping[str, object] = (
+            backing if backing is not None else {}
+        )
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: Number = 1) -> Number:
+        """Add *amount* to *name* (creating it at 0) and return the total."""
+        current = self.data.get(name, 0)
+        if not _is_counter_value(current):
+            current = 0
+        total = current + amount
+        self.data[name] = total
+        return total
+
+    def set(self, name: str, value: object) -> None:
+        self.data[name] = value
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        value = self.data.get(name, default)
+        return value if _is_counter_value(value) else default
+
+    def merge(self, other: Mapping[str, object]) -> None:
+        """Sum every scalar numeric of *other* into this registry."""
+        for name, value in other.items():
+            if _is_counter_value(value):
+                self.inc(name, value)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """The scalar-numeric subset, in insertion order (JSON-safe)."""
+        return {
+            name: value
+            for name, value in self.data.items()
+            if _is_counter_value(value)
+        }
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self.data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"CounterRegistry({self.snapshot()!r})"
+
+
+def merged_snapshot(registries) -> Dict[str, Number]:
+    """Sum the snapshots of an iterable of registries into one mapping."""
+    out = CounterRegistry()
+    for registry in registries:
+        out.merge(registry.snapshot())
+    return dict(out.snapshot())

@@ -1,0 +1,31 @@
+"""Peak-RSS sampling without external dependencies.
+
+``resource.getrusage`` reports the high-water mark of the process's
+resident set — a kernel-maintained monotonic peak, so one sample when a
+tracer starts and one when it finishes capture the run's footprint
+without instrumenting allocations (or taxing span closes). The unit of
+``ru_maxrss`` is kibibytes on Linux and bytes on macOS — normalized to
+bytes here. Returns ``None`` on platforms without the ``resource``
+module (Windows), and every consumer treats that as "unknown", never as
+zero.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+try:  # pragma: no cover - import guard exercised only on Windows
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident-set size of this process in bytes, if knowable."""
+    if resource is None:  # pragma: no cover - Windows
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024

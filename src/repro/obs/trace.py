@@ -1,0 +1,280 @@
+"""Hierarchical phase spans over monotonic timers.
+
+A :class:`Tracer` owns one tree of :class:`Span` s for one run. Code
+anywhere in the library opens spans through the module-level
+:func:`span` helper::
+
+    from repro.obs import span
+
+    with span("detect", fd=fd.name) as sp:
+        violations = join.join(patterns)
+        sp.set(pairs_examined=join.pairs_examined)
+
+When no tracer is active (the default — tracing is opt-in via
+``RepairConfig(trace=True)`` / CLI ``--trace``), :func:`span` returns a
+shared no-op singleton: the cost of an instrumentation point is one
+``ContextVar.get`` plus an attribute check, which is why the spans can
+stay in place on warm paths without a measurable tax (guarded by
+``tests/test_trace_overhead.py``). Spans are deliberately **coarse** —
+phases, per-FD joins, per-component repairs — never per-pair or
+per-kernel-call; high-frequency events are counted locally and attached
+as span attributes when the span closes.
+
+Worker processes have no *usable* inherited tracer — a spawned worker
+starts with an empty :data:`ContextVar`, and a forked one inherits a
+copy whose recordings would be discarded, which is why
+:func:`current_tracer` disowns tracers owned by another pid. Executor
+tasks therefore build a worker-local tracer, serialize its span tree,
+and ship it back; the parent grafts each tree under its live
+``execute`` span (:meth:`Tracer.graft`). The in-process path nests live
+spans directly — exactly one of the two happens, which is what keeps
+merged reports free of double counting.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.counters import CounterRegistry, merged_snapshot
+from repro.obs.rss import peak_rss_bytes
+
+
+class Span:
+    """One node of the span tree: a named, timed, attributed phase.
+
+    A span doubles as its own context manager (entering pushes it onto
+    the owning tracer's stack and starts the clock) so opening one costs
+    a single allocation.
+    """
+
+    __slots__ = ("name", "seconds", "attributes", "children", "_tracer", "_start")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.seconds: float = 0.0
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+        self._tracer: Optional["Tracer"] = None
+        self._start = 0.0
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds += time.perf_counter() - self._start
+        self._tracer._pop(self)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation; empty fields are omitted."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(str(data["name"]), data.get("attributes"))
+        span.seconds = float(data.get("seconds", 0.0))
+        span.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return span
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.seconds:.6f}s, "
+            f"{len(self.children)} child(ren))"
+        )
+
+
+class _NullSpan:
+    """Shared no-op stand-in used when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Owns one run's span tree, counters, and peak-RSS samples."""
+
+    def __init__(self, root_name: str = "run", **root_attributes: Any):
+        self.enabled = True
+        #: owning process — a forked worker inherits the parent's
+        #: ContextVar, so :func:`current_tracer` disowns tracers whose
+        #: pid differs (the worker then builds its own local tracer)
+        self.pid = os.getpid()
+        self.root = Span(root_name, root_attributes)
+        self._stack: List[Span] = [self.root]
+        self._start = time.perf_counter()
+        self._finished = False
+        #: counter registries registered by subsystems (the executor
+        #: registers one per merged result, backed by its ExecutionStats)
+        self.registries: List[CounterRegistry] = []
+        #: the tracer's own ad-hoc counters (for code without a stats
+        #: object in reach)
+        self.local_counters = CounterRegistry()
+        self.rss_start = peak_rss_bytes()
+        self.rss_peak = self.rss_start
+
+    # ------------------------------------------------------------------
+    # Span plumbing
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any):
+        """Open a child span of the current span (context manager)."""
+        if not self.enabled:
+            return NULL_SPAN
+        child = Span(name, attributes)
+        child._tracer = self
+        self.current.children.append(child)
+        return child
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def graft(self, tree: Dict[str, Any]) -> Span:
+        """Attach a serialized span tree under the current span.
+
+        Used by the executor to merge worker-local traces: each worker
+        ships ``tracer.serialize()`` of its private tracer and the
+        parent grafts it in task order, so the merged tree is identical
+        to the one an in-process run would have produced (modulo wall
+        times).
+        """
+        span = Span.from_dict(tree)
+        self.current.children.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Counters and RSS
+    # ------------------------------------------------------------------
+    def register(self, registry: CounterRegistry) -> CounterRegistry:
+        """Adopt *registry* into the run's unified counter view."""
+        self.registries.append(registry)
+        return registry
+
+    def add_counters(self, counters: Dict[str, Any]) -> None:
+        """Sum scalar numerics into the tracer-local registry."""
+        self.local_counters.merge(counters)
+
+    def counters(self) -> Dict[str, Any]:
+        """The unified counter snapshot across every registered registry."""
+        registries = list(self.registries)
+        if len(self.local_counters):
+            registries.append(self.local_counters)
+        return merged_snapshot(registries)
+
+    def _sample_rss(self) -> None:
+        # ru_maxrss is a kernel-maintained high-water mark (monotonic),
+        # so one sample at finish() captures the true peak — no need to
+        # pay a getrusage call on every span close.
+        sample = peak_rss_bytes()
+        if sample is not None and (
+            self.rss_peak is None or sample > self.rss_peak
+        ):
+            self.rss_peak = sample
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def finish(self) -> Span:
+        """Close the root span (idempotent) and return it."""
+        if not self._finished:
+            self.root.seconds = time.perf_counter() - self._start
+            self._sample_rss()
+            self._finished = True
+        return self.root
+
+    def serialize(self) -> Dict[str, Any]:
+        """The span tree as a JSON-ready dict (finishes the root)."""
+        return self.finish().to_dict()
+
+
+# ----------------------------------------------------------------------
+# The ambient tracer
+# ----------------------------------------------------------------------
+_ACTIVE: ContextVar[Optional[Tracer]] = ContextVar(
+    "repro_active_tracer", default=None
+)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer active in this process and context, or ``None``.
+
+    A tracer created in another process (inherited through fork) is
+    treated as absent: recording into the forked copy would be silently
+    discarded, so workers must build their own tracer and ship its tree.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is not None and tracer.pid != os.getpid():
+        return None
+    return tracer
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the active tracer; a no-op when none is active."""
+    tracer = current_tracer()
+    if tracer is None or not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def add_counters(counters: Dict[str, Any]) -> None:
+    """Sum counters into the active tracer; a no-op when none is active."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.add_counters(counters)
+
+
+@contextmanager
+def activate(tracer: Optional[Tracer]):
+    """Make *tracer* the ambient tracer for the block (``None`` = no-op)."""
+    if tracer is None:
+        yield None
+        return
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)

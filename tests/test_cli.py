@@ -146,3 +146,57 @@ class TestRun:
         out = capsys.readouterr().out
         assert "detection (indexed):" in out
         assert "pairs_examined" in out
+
+
+class TestTrace:
+    def test_report_path_writes_run_report_json(self, csv_path, tmp_path):
+        import json
+
+        out = tmp_path / "run_report.json"
+        code = main(
+            [str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+             "--trace", "--report", str(out), "--dry-run"]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        names = set()
+        stack = [report["spans"]]
+        while stack:
+            node = stack.pop()
+            names.add(node["name"])
+            stack.extend(node.get("children", ()))
+        assert {"run", "execute", "component", "graph", "detect"} <= names
+        assert report["counters"]
+        assert report["result"]["output_hash"]
+        assert report["dataset"]["rows"] == 9
+
+    def test_report_path_implies_trace(self, csv_path, tmp_path):
+        out = tmp_path / "run_report.json"
+        code = main(
+            [str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+             "--report", str(out), "--dry-run"]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_bare_report_still_lists_edits(self, csv_path, capsys):
+        # the legacy spelling: --report with no PATH prints the edit list
+        main([str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+              "--report", "--dry-run"])
+        out = capsys.readouterr().out
+        assert "espresso-oen" in out and "espresso-one" in out
+
+    def test_trace_prints_phase_table(self, csv_path, capsys):
+        code = main(
+            [str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+             "--trace", "--dry-run"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "detect" in out
+
+    def test_edits_flag_lists_edits(self, csv_path, capsys):
+        main([str(csv_path), "--fd", "sku -> product", "--tau", "0.3",
+              "--edits", "--dry-run"])
+        out = capsys.readouterr().out
+        assert "espresso-oen" in out and "espresso-one" in out

@@ -1,0 +1,218 @@
+"""The observability primitives: spans, counters, tracer plumbing.
+
+The run-report level contracts (serialization round-trips, determinism,
+n_jobs merging) live in ``tests/test_run_report.py``; this module pins
+the layer underneath — span nesting, the no-op path when tracing is
+off, counter registry semantics, and worker-tree grafting.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    CounterRegistry,
+    Span,
+    Tracer,
+    activate,
+    add_counters,
+    current_tracer,
+    merged_snapshot,
+    span,
+)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpanNesting:
+    def test_spans_nest_under_the_open_parent(self):
+        tracer = Tracer("run")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        root = tracer.finish()
+        assert [c.name for c in root.children] == ["outer"]
+        outer = root.children[0]
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        assert outer.children[0].children == []
+
+    def test_span_records_elapsed_seconds(self):
+        tracer = Tracer("run")
+        with tracer.span("timed"):
+            pass
+        timed = tracer.finish().children[0]
+        assert timed.seconds >= 0.0
+
+    def test_set_attaches_attributes_and_chains(self):
+        tracer = Tracer("run")
+        with tracer.span("s", fd="phi1") as live:
+            assert live.set(pairs=3) is live
+        recorded = tracer.finish().children[0]
+        assert recorded.attributes == {"fd": "phi1", "pairs": 3}
+
+    def test_exception_still_closes_the_span(self):
+        tracer = Tracer("run")
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        # stack unwound fully: a new span lands under the root again
+        with tracer.span("after"):
+            pass
+        names = [c.name for c in tracer.finish().children]
+        assert names == ["outer", "after"]
+
+    def test_to_dict_from_dict_round_trip(self):
+        root = Span("run", {"rows": 10})
+        child = Span("detect", {"fd": "phi1"})
+        child.seconds = 0.25
+        root.children.append(child)
+        root.seconds = 1.5
+        back = Span.from_dict(root.to_dict())
+        assert back.to_dict() == root.to_dict()
+
+    def test_walk_is_depth_first(self):
+        root = Span("a")
+        b, c = Span("b"), Span("c")
+        b.children.append(Span("b1"))
+        root.children.extend([b, c])
+        assert [s.name for s in root.walk()] == ["a", "b", "b1", "c"]
+
+
+# ----------------------------------------------------------------------
+# The ambient tracer and the no-op path
+# ----------------------------------------------------------------------
+class TestAmbientTracer:
+    def test_span_without_tracer_is_the_null_singleton(self):
+        assert current_tracer() is None
+        assert span("anything", fd="x") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("nothing") as live:
+            assert live.set(a=1) is live  # chainable no-op
+
+    def test_activate_scopes_the_tracer(self):
+        tracer = Tracer("run")
+        with activate(tracer):
+            assert current_tracer() is tracer
+            with span("inside"):
+                pass
+        assert current_tracer() is None
+        assert [c.name for c in tracer.finish().children] == ["inside"]
+
+    def test_activate_none_is_a_no_op(self):
+        with activate(None) as nothing:
+            assert nothing is None
+            assert current_tracer() is None
+
+    def test_disabled_tracer_yields_null_spans(self):
+        tracer = Tracer("run")
+        tracer.enabled = False
+        with activate(tracer):
+            assert span("x") is NULL_SPAN
+
+    def test_add_counters_without_tracer_is_a_no_op(self):
+        add_counters({"x": 1})  # must not raise
+
+    def test_add_counters_reaches_the_active_tracer(self):
+        tracer = Tracer("run")
+        with activate(tracer):
+            add_counters({"x": 1})
+            add_counters({"x": 2, "y": 5})
+        assert tracer.counters() == {"x": 3, "y": 5}
+
+    def test_forked_tracer_is_disowned(self):
+        """A tracer owned by another pid must read as absent."""
+        tracer = Tracer("run")
+        tracer.pid = tracer.pid + 1  # simulate a fork inheritance
+        with activate(tracer):
+            assert current_tracer() is None
+            assert span("x") is NULL_SPAN
+
+
+# ----------------------------------------------------------------------
+# Counters
+# ----------------------------------------------------------------------
+class TestCounterRegistry:
+    def test_inc_set_get(self):
+        registry = CounterRegistry()
+        registry.inc("pairs")
+        registry.inc("pairs", 4)
+        registry.set("mode", "indexed")
+        assert registry.get("pairs") == 5
+        # get() is a *counter* accessor: non-numerics read as the default
+        assert registry.get("mode") == 0
+        assert registry.data["mode"] == "indexed"
+        assert registry.get("absent", 0) == 0
+
+    def test_snapshot_keeps_scalar_numerics_only(self):
+        registry = CounterRegistry()
+        registry.set("pairs", 7)
+        registry.set("ratio", 0.5)
+        registry.set("degraded", False)  # bools are flags, not counters
+        registry.set("components", [{"index": 0}])
+        assert registry.snapshot() == {"pairs": 7, "ratio": 0.5}
+
+    def test_backing_mapping_is_the_storage(self):
+        stats = {"pairs": 3}
+        registry = CounterRegistry(backing=stats)
+        registry.inc("pairs", 2)
+        registry.set("cache_hits", 9)
+        # writes went through to the backing dict — one storage, two views
+        assert stats == {"pairs": 5, "cache_hits": 9}
+
+    def test_merge_sums_numerics(self):
+        left = CounterRegistry({"a": 1, "b": 2.5})
+        left.merge({"a": 4, "c": 1, "label": "x"})
+        assert left.snapshot() == {"a": 5, "b": 2.5, "c": 1}
+        # non-numerics are not counters: merge drops them
+        assert "label" not in left
+
+    def test_merged_snapshot_sums_registries(self):
+        one = CounterRegistry({"a": 1, "shared": 10})
+        two = CounterRegistry({"b": 2, "shared": 5})
+        assert merged_snapshot([one, two]) == {"a": 1, "b": 2, "shared": 15}
+
+    def test_counters_round_trip_json(self):
+        registry = CounterRegistry({"pairs": 7, "ratio": 0.25})
+        back = json.loads(json.dumps(registry.snapshot()))
+        assert back == {"pairs": 7, "ratio": 0.25}
+
+
+# ----------------------------------------------------------------------
+# Grafting worker trees
+# ----------------------------------------------------------------------
+class TestGraft:
+    def test_graft_attaches_under_the_current_span(self):
+        worker = Tracer("component", index=3)
+        with worker.span("graph"):
+            pass
+        shipped = worker.serialize()
+
+        parent = Tracer("run")
+        with parent.span("execute"):
+            parent.graft(shipped)
+        execute = parent.finish().children[0]
+        assert [c.name for c in execute.children] == ["component"]
+        component = execute.children[0]
+        assert component.attributes == {"index": 3}
+        assert [c.name for c in component.children] == ["graph"]
+
+    def test_grafted_tree_preserves_worker_seconds(self):
+        worker = Tracer("component")
+        with worker.span("graph"):
+            pass
+        tree = worker.serialize()
+        parent = Tracer("run")
+        grafted = parent.graft(tree)
+        assert grafted.seconds == pytest.approx(tree["seconds"])
+
+    def test_tracer_counters_unify_registered_registries(self):
+        tracer = Tracer("run")
+        tracer.register(CounterRegistry({"pairs": 3}))
+        tracer.register(CounterRegistry({"pairs": 4, "hits": 1}))
+        assert tracer.counters() == {"pairs": 7, "hits": 1}

@@ -16,9 +16,16 @@ normalized entry:
   (``benchmarks/check_perf_gate.py``) fails on any hash drift: a perf
   win that changes repairs is a correctness regression.
 
+Each entry also breaks the *search phase* out of the span totals
+(``search_phase_seconds``: ``mis_enumeration``, ``greedy_growth``,
+``combination``, ``tree_search``; ``search_seconds`` is their sum) —
+the numbers ``benchmarks/check_search_gate.py`` compares against the
+committed pre-bitset baselines.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/_trajectory.py [path/to/BENCH_repair.json]
+    PYTHONPATH=src python benchmarks/_trajectory.py \
+        [--algorithm greedy-m] [path/to/BENCH_repair.json]
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+import warnings
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -46,6 +54,14 @@ from repro.generator.noise import NoiseConfig, inject_noise  # noqa: E402
 DEFAULT_PATH = ROOT / "BENCH_repair.json"
 HOSP_SLICE_N = 5000 if SCALE == "paper" else 800
 ALGORITHM = "greedy-m"
+
+#: search-phase entry keys -> the span names whose totals they sum
+SEARCH_PHASES = {
+    "mis_enumeration": "mis/expand",
+    "greedy_growth": "greedy/grow",
+    "combination": "combinations",
+    "tree_search": "targets/search",
+}
 
 #: counters worth trending run over run (subset of the unified registry)
 TRENDED_COUNTERS = (
@@ -70,35 +86,50 @@ def workload():
     return relation
 
 
-def run_entry() -> dict:
+def run_entry(algorithm: str = ALGORITHM) -> dict:
     """One traced repair of the standard workload as a trajectory entry."""
     relation = workload()
     weights = Weights(0.5, 0.5)
     thresholds = hosp_thresholds(weights=weights)
+    extra = {}
+    if algorithm.startswith("exact"):
+        # Exact searches legitimately exhaust their budgets on the big
+        # components of this slice; degrade like the CLI default does.
+        extra["fallback"] = "greedy"
     repairer = Repairer(
         HOSP_FDS,
-        algorithm=ALGORITHM,
+        algorithm=algorithm,
         weights=weights,
         thresholds=thresholds,
         trace=True,
+        **extra,
     )
     start = time.perf_counter()
-    result = repairer.repair(relation)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # degradations are expected here
+        result = repairer.repair(relation)
     wall = time.perf_counter() - start
     report = repairer.report()
     counters = report.counters
+    totals = report.phase_totals()
+    search_phases = {
+        key: round(totals.get(name, 0.0), 4)
+        for key, name in sorted(SEARCH_PHASES.items())
+    }
     return {
         "scale": SCALE,
         "n_tuples": HOSP_SLICE_N,
         "n_fds": len(HOSP_FDS),
-        "algorithm": ALGORITHM,
+        "algorithm": algorithm,
         "dataset_sha256": report.dataset["sha256"],
         "wall_seconds": round(wall, 4),
         "calibration_seconds": round(calibration_seconds(), 4),
         "phase_seconds": {
             name: round(seconds, 4)
-            for name, seconds in sorted(report.phase_totals().items())
+            for name, seconds in sorted(totals.items())
         },
+        "search_phase_seconds": search_phases,
+        "search_seconds": round(sum(search_phases.values()), 4),
         "counters": {
             key: counters[key] for key in TRENDED_COUNTERS if key in counters
         },
@@ -110,8 +141,20 @@ def run_entry() -> dict:
 
 
 def main(argv: list) -> int:
-    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
-    entry = run_entry()
+    algorithm = ALGORITHM
+    positional = []
+    rest = list(argv[1:])
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--algorithm":
+            if not rest:
+                print("--algorithm requires a value", file=sys.stderr)
+                return 2
+            algorithm = rest.pop(0)
+        else:
+            positional.append(arg)
+    path = Path(positional[0]) if positional else DEFAULT_PATH
+    entry = run_entry(algorithm)
     trajectory = []
     if path.exists():
         trajectory = json.loads(path.read_text())

@@ -1,0 +1,188 @@
+"""CI gate over the search-phase speedup in ``BENCH_repair.json``.
+
+The bitset search kernel (``docs/search.md``) must beat the committed
+pre-bitset baselines on the *search phase* of the standard HOSP-slice
+trajectory — detection is already indexed, so the gate isolates the
+span totals the trajectory runner records under ``search_seconds``
+(``mis_enumeration`` + ``greedy_growth`` + ``combination`` +
+``tree_search``). Two checks, per algorithm:
+
+1. **Speedup** — for the algorithms in :data:`SPEEDUP_REQUIRED`
+   (Exact-S and Exact-M, whose enumeration/combination scans dominate),
+   the calibrated search time (``search_seconds / calibration_seconds``)
+   of the latest entry must undercut the baseline's by at least the
+   required factor (2x).
+2. **Output hash** — for *every* algorithm present in the trajectory,
+   the repair output hash of the latest entry must equal its baseline's.
+   A search speedup that changes any repair is a correctness
+   regression and fails regardless of timing.
+
+The baseline of an algorithm is the first trajectory entry with the
+same scale, tuple count, and algorithm (the committed, pre-bitset one);
+the candidate is the last. Exit status follows the shared gate
+conventions (``benchmarks/_gate.py``): 0 pass, 1 regression, 2
+missing/malformed trajectory (including speedup-gated algorithms that
+have a baseline but no fresh entry — run ``benchmarks/_trajectory.py
+--algorithm <name>`` first).
+
+Usage::
+
+    python benchmarks/check_search_gate.py [path/to/BENCH_repair.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    ROOT,
+    verdict_summary,
+)
+
+DEFAULT_PATH = ROOT / "BENCH_repair.json"
+
+#: algorithm -> minimum calibrated search-phase speedup vs its baseline
+SPEEDUP_REQUIRED: Dict[str, float] = {"exact-s": 2.0, "exact-m": 2.0}
+
+
+def calibrated_search(entry: dict) -> Optional[float]:
+    """Machine-independent search-phase time of one entry, if recorded."""
+    if "search_seconds" not in entry:
+        return None
+    calibration = float(entry.get("calibration_seconds") or 0.0)
+    seconds = float(entry["search_seconds"])
+    return seconds / calibration if calibration > 0 else seconds
+
+
+def pair_up(trajectory: List[dict]) -> Dict[str, Tuple[dict, dict]]:
+    """Algorithm -> (baseline, latest) over same-shape entries.
+
+    The baseline is the first entry of an algorithm's (scale, n_tuples)
+    shape, the candidate the last; shapes follow the *latest* entry per
+    algorithm so a scale switch starts a fresh comparison.
+    """
+    latest: Dict[str, dict] = {}
+    for entry in trajectory:
+        algorithm = entry.get("algorithm")
+        if algorithm:
+            latest[str(algorithm)] = entry
+    pairs: Dict[str, Tuple[dict, dict]] = {}
+    for algorithm, last in latest.items():
+        baseline = next(
+            entry
+            for entry in trajectory
+            if entry.get("algorithm") == algorithm
+            and entry.get("scale") == last.get("scale")
+            and entry.get("n_tuples") == last.get("n_tuples")
+        )
+        pairs[algorithm] = (baseline, last)
+    return pairs
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        print(
+            f"gate: {path} not found; run benchmarks/_trajectory.py first",
+            file=sys.stderr,
+        )
+        verdict_summary("search gate", "MISSING", f"`{path.name}` not found")
+        return EXIT_MISSING
+    try:
+        trajectory = json.loads(path.read_text())
+        pairs = pair_up(trajectory)
+        if not pairs:
+            raise ValueError("no trajectory entries")
+    except (ValueError, KeyError, TypeError, StopIteration) as exc:
+        print(f"gate: cannot read trajectory entries: {exc}", file=sys.stderr)
+        verdict_summary(
+            "search gate", "MISSING", f"malformed `{path.name}`: {exc}"
+        )
+        return EXIT_MISSING
+
+    failures: List[str] = []
+    missing: List[str] = []
+    rows = ["| algorithm | baseline search | latest search | speedup | hash |",
+            "|---|---:|---:|---:|---|"]
+    for algorithm in sorted(pairs):
+        baseline, last = pairs[algorithm]
+        base_hash = baseline.get("output_hash")
+        last_hash = last.get("output_hash")
+        hash_ok = base_hash == last_hash
+        if not hash_ok:
+            failures.append(
+                f"{algorithm}: output hash drifted "
+                f"{base_hash} -> {last_hash} (repair changed)"
+            )
+        base_search = calibrated_search(baseline)
+        last_search = calibrated_search(last)
+        speedup: Optional[float] = None
+        if (
+            baseline is not last
+            and base_search is not None
+            and last_search is not None
+            and last_search > 0
+        ):
+            speedup = base_search / last_search
+        required = SPEEDUP_REQUIRED.get(algorithm)
+        if required is not None:
+            if baseline is last:
+                missing.append(
+                    f"{algorithm}: only the committed baseline is present; "
+                    f"run benchmarks/_trajectory.py --algorithm {algorithm}"
+                )
+            elif speedup is None:
+                missing.append(
+                    f"{algorithm}: entries lack search_seconds timings"
+                )
+            elif speedup < required:
+                failures.append(
+                    f"{algorithm}: search phase sped up only {speedup:.2f}x "
+                    f"(required >= {required:.1f}x)"
+                )
+        rows.append(
+            f"| {algorithm} | "
+            f"{'-' if base_search is None else f'{base_search:.2f}'} | "
+            f"{'-' if last_search is None else f'{last_search:.2f}'} | "
+            f"{'-' if speedup is None else f'{speedup:.2f}x'}"
+            f"{'' if required is None else f' (>= {required:.1f}x)'} | "
+            f"{'ok' if hash_ok else 'DRIFT'} |"
+        )
+        print(
+            f"gate: {algorithm} — search "
+            f"{'-' if base_search is None else f'{base_search:.2f}'} -> "
+            f"{'-' if last_search is None else f'{last_search:.2f}'} "
+            f"({'-' if speedup is None else f'{speedup:.2f}x'}), "
+            f"hash {last_hash} vs {base_hash}"
+        )
+    detail = "\n".join(rows)
+
+    if failures:
+        for failure in failures:
+            print(f"gate: FAIL — {failure}", file=sys.stderr)
+        verdict_summary(
+            "search gate", "FAIL", "\n".join(failures) + "\n\n" + detail
+        )
+        return EXIT_REGRESSION
+    if missing:
+        for item in missing:
+            print(f"gate: MISSING — {item}", file=sys.stderr)
+        verdict_summary(
+            "search gate", "MISSING", "\n".join(missing) + "\n\n" + detail
+        )
+        return EXIT_MISSING
+    print("gate: PASS")
+    verdict_summary("search gate", "PASS", detail)
+    return EXIT_PASS
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

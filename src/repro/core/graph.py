@@ -13,6 +13,16 @@ Repairing with a maximal independent set ``I``:
 * members of ``I`` keep their values (mutually FT-consistent),
 * every non-member has, by maximality, at least one neighbor in ``I``
   and is rewritten to its cheapest such neighbor.
+
+The search algorithms run on a **bitset view** of the graph
+(:class:`ComponentMasks`, handed out by
+:meth:`ViolationGraph.subgraph_masks`): the vertices of an induced
+subgraph — typically one connected component — are renumbered densely
+and every neighborhood becomes one Python big-int mask, so independence
+checks, maximality checks, and ``FTC`` intersections collapse to a few
+``&``/``|`` word operations instead of per-member set scans (see
+``docs/search.md``). Views are cached per vertex order and invalidated
+on mutation (:meth:`ViolationGraph.add_edge`).
 """
 
 from __future__ import annotations
@@ -26,6 +36,93 @@ from repro.dataset.relation import Relation
 from repro.index.registry import AttributeIndexRegistry
 from repro.index.simjoin import SimilarityJoin
 from repro.obs import span
+
+
+def mask_bits(mask: int) -> List[int]:
+    """The set bit positions of *mask*, ascending."""
+    out: List[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+class ComponentMasks:
+    """Dense bitset view of the subgraph induced by an ordered vertex list.
+
+    Position ``i`` of every list corresponds to ``order[i]``; bit ``i``
+    of every mask likewise. Edges leaving the induced subgraph are
+    dropped, so the view of a connected component is self-contained —
+    the representation the expansion search and the greedy growth loops
+    operate on. Instances are plain-Python (big ints, lists, dicts) and
+    therefore pickle with their graph when a component crosses a process
+    boundary, though in practice the executor builds graphs — and hence
+    masks — worker-locally.
+    """
+
+    __slots__ = (
+        "order",
+        "index_of",
+        "adjacency",
+        "multiplicities",
+        "full_mask",
+        "_graph",
+        "_cost_rows",
+    )
+
+    def __init__(self, graph: "ViolationGraph", order: Sequence[int]) -> None:
+        self.order: Tuple[int, ...] = tuple(order)
+        self.index_of: Dict[int, int] = {
+            v: i for i, v in enumerate(self.order)
+        }
+        index_of = self.index_of
+        adjacency: List[int] = []
+        for v in self.order:
+            mask = 0
+            for u in graph.neighbors(v):
+                j = index_of.get(u)
+                if j is not None:
+                    mask |= 1 << j
+            adjacency.append(mask)
+        #: per-vertex neighborhood bitmask (induced subgraph only)
+        self.adjacency = adjacency
+        self.multiplicities: List[int] = [
+            graph.multiplicity(v) for v in self.order
+        ]
+        self.full_mask: int = (1 << len(self.order)) - 1
+        self._graph = graph
+        self._cost_rows: Optional[List[List[float]]] = None
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def to_mask(self, vertices: Iterable[int]) -> int:
+        """Bitmask of *vertices* (original ids) within this view."""
+        mask = 0
+        index_of = self.index_of
+        for v in vertices:
+            mask |= 1 << index_of[v]
+        return mask
+
+    def to_vertices(self, mask: int) -> List[int]:
+        """Original vertex ids of the set bits, in dense order."""
+        order = self.order
+        return [order[i] for i in mask_bits(mask)]
+
+    def cost_rows(self) -> List[List[float]]:
+        """Dense pairwise Eq. (3) cost matrix over ``order`` (cached).
+
+        ``cost_rows()[i][j] == graph.pair_cost(order[i], order[j])`` —
+        the exact same memoized floats the set-based oracles read, laid
+        out for O(1) indexed access in the bound computations.
+        """
+        if self._cost_rows is None:
+            graph, order = self._graph, self.order
+            self._cost_rows = [
+                [graph.pair_cost(v, u) for u in order] for v in order
+            ]
+        return self._cost_rows
 
 
 class ViolationGraph:
@@ -60,6 +157,11 @@ class ViolationGraph:
             # Keep the Eq. (2) distance around for diagnostics.
             self._pair_cost_cache[(min(u, v), max(u, v))] = base
             del dist  # the weighted distance defined the edge; cost drives repair
+        # Cached at build time: edge_count sits on hot span/stats paths,
+        # and the bitset views are pure functions of the adjacency. Both
+        # invalidate together on mutation (add_edge).
+        self._edge_count: int = sum(len(adj) for adj in self._adjacency) // 2
+        self._masks_cache: Dict[Tuple[int, ...], ComponentMasks] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -116,7 +218,46 @@ class ViolationGraph:
 
     @property
     def edge_count(self) -> int:
-        return sum(len(adj) for adj in self._adjacency) // 2
+        """Undirected edge count, cached at build time."""
+        return self._edge_count
+
+    def add_edge(self, u: int, v: int, base_cost: Optional[float] = None) -> None:
+        """Insert (or reprice) the undirected edge ``{u, v}``.
+
+        *base_cost* defaults to the Eq. (3) cost between the patterns.
+        Mutation invalidates the cached edge count bookkeeping and every
+        bitset view handed out by :meth:`subgraph_masks`.
+        """
+        if u == v:
+            raise ValueError("self-loops are not allowed in a violation graph")
+        base = base_cost if base_cost is not None else self._base_cost(u, v)
+        new = v not in self._adjacency[u]
+        self._adjacency[u][v] = base
+        self._adjacency[v][u] = base
+        self._pair_cost_cache[(min(u, v), max(u, v))] = base
+        if new:
+            self._edge_count += 1
+        self._masks_cache.clear()
+
+    def subgraph_masks(
+        self, vertices: Optional[Sequence[int]] = None
+    ) -> ComponentMasks:
+        """The cached :class:`ComponentMasks` view of an induced subgraph.
+
+        *vertices* fixes both membership and the dense renumbering (the
+        search algorithms pass their access order); ``None`` means the
+        whole graph, where dense index == vertex id.
+        """
+        order = (
+            tuple(vertices)
+            if vertices is not None
+            else tuple(range(len(self.patterns)))
+        )
+        hit = self._masks_cache.get(order)
+        if hit is None:
+            hit = ComponentMasks(self, order)
+            self._masks_cache[order] = hit
+        return hit
 
     def neighbors(self, u: int) -> Dict[int, float]:
         """Adjacent vertices of *u* with base edge costs."""
@@ -179,30 +320,44 @@ class ViolationGraph:
     # Independent sets
     # ------------------------------------------------------------------
     def is_independent(self, vertices: Iterable[int]) -> bool:
-        """No edge joins two members."""
-        members = list(vertices)
-        member_set = set(members)
-        for u in members:
-            if any(v in member_set for v in self._adjacency[u]):
+        """No edge joins two members (one ``&`` per member)."""
+        masks = self.subgraph_masks()
+        adjacency = masks.adjacency
+        member_mask = masks.to_mask(vertices)
+        remaining = member_mask
+        while remaining:
+            low = remaining & -remaining
+            if adjacency[low.bit_length() - 1] & member_mask:
                 return False
+            remaining ^= low
         return True
 
     def is_maximal_independent(self, vertices: Iterable[int]) -> bool:
-        """Independent, and no outside vertex can join."""
-        member_set = set(vertices)
-        if not self.is_independent(member_set):
-            return False
-        for u in range(len(self.patterns)):
-            if u in member_set:
-                continue
-            if not any(v in member_set for v in self._adjacency[u]):
-                return False
-        return True
+        """Independent, and no outside vertex can join.
+
+        An outside vertex can join exactly when it misses the *coverage
+        mask* — the union of the members and their neighborhoods — so
+        maximality is one complement-and-test over the coverage.
+        """
+        masks = self.subgraph_masks()
+        adjacency = masks.adjacency
+        member_mask = masks.to_mask(vertices)
+        coverage = member_mask
+        remaining = member_mask
+        while remaining:
+            low = remaining & -remaining
+            index = low.bit_length() - 1
+            if adjacency[index] & member_mask:
+                return False  # not independent
+            coverage |= adjacency[index]
+            remaining ^= low
+        return masks.full_mask & ~coverage == 0
 
     def consistent_subset(self, u: int, vertices: Iterable[int]) -> FrozenSet[int]:
         """``FTC(u, I)``: members of *vertices* not adjacent to *u*."""
-        adjacency = self._adjacency[u]
-        return frozenset(v for v in vertices if v not in adjacency)
+        masks = self.subgraph_masks()
+        kept = masks.to_mask(vertices) & ~masks.adjacency[u]
+        return frozenset(masks.to_vertices(kept))
 
     def best_repair_target(
         self, u: int, independent_set: Iterable[int]

@@ -13,7 +13,7 @@ at a time, and ultimately repairs FDs sequentially and independently.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
@@ -33,7 +33,8 @@ def greedy_sets_per_fd(
     thresholds: Dict[FD, float],
     join_strategy: str = "filtered",
     seed_dominant: bool = True,
-    registry: "AttributeIndexRegistry" = None,
+    registry: Optional[AttributeIndexRegistry] = None,
+    counters: Optional[Dict[str, int]] = None,
 ) -> Tuple[List[ViolationGraph], List[List[Tuple]]]:
     """One Greedy-S independent set per FD, as element value-tuples.
 
@@ -58,7 +59,9 @@ def greedy_sets_per_fd(
             join_strategy=join_strategy,
             registry=registry,
         )
-        chosen = greedy_independent_set(graph, seed_dominant=seed_dominant)
+        chosen = greedy_independent_set(
+            graph, seed_dominant=seed_dominant, counters=counters
+        )
         graphs.append(graph)
         elements.append([graph.patterns[v].values for v in sorted(chosen)])
     return graphs, elements
@@ -74,8 +77,10 @@ def repair_multi_fd_appro(
 ) -> RepairResult:
     """Appro-M repair of one FD-graph component."""
     fds = list(fds)
+    search_counters: Dict[str, int] = {}
     graphs, elements = greedy_sets_per_fd(
-        relation, fds, model, thresholds, join_strategy=join_strategy
+        relation, fds, model, thresholds, join_strategy=join_strategy,
+        counters=search_counters,
     )
     try:
         edits, cost, repair_stats = repair_with_sets(
@@ -84,7 +89,9 @@ def repair_multi_fd_appro(
     except TargetJoinError:
         return _sequential_fallback(relation, fds, model, thresholds, join_strategy)
     repaired = apply_edits(relation, edits)
-    stats: Dict[str, object] = {"algorithm": "appro-m", **repair_stats}
+    stats: Dict[str, object] = {
+        "algorithm": "appro-m", **search_counters, **repair_stats
+    }
     accumulate_join_counters(stats, graphs)
     return RepairResult(repaired, edits, cost, stats)
 

@@ -11,7 +11,11 @@ pairwise attribute-disjoint family of the component's FDs (the paper's
 ``F(phi_j)``, Eq. 10), the cheapest conceivable repair of each excluded
 pattern. Disjoint attribute sets cannot double-count cost, so the bound
 is sound and a combination whose bound already exceeds the incumbent is
-skipped without building its target tree.
+skipped without building its target tree. The scan walks the product as
+an explicit-stack DFS so the bound accumulates per FD along the path:
+when a *partial* sum already beats the incumbent, the entire subtree of
+combinations sharing that prefix is pruned in one step (the bound terms
+are nonnegative), instead of re-deriving the skip once per combination.
 
 The bound's per-pattern ingredient (cheapest neighbor) equals the global
 cheapest rewrite only under equal LHS/RHS weights, so pruning
@@ -20,7 +24,6 @@ auto-disables for skewed weights.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import FD
@@ -240,34 +243,77 @@ def repair_multi_fd_exact(
     combos_scored = 0
     combos_pruned = 0
     combos_infeasible = 0
+    prune_events = 0
+    # Explicit-stack DFS over the product, one FD per depth, visiting
+    # leaves in itertools.product order. The family bound accumulates
+    # left-to-right along the path (same term order as the old per-combo
+    # ``sum``, so the same floats), and solo bounds are nonnegative:
+    # once the partial sum at depth d beats the incumbent, *every* leaf
+    # below would have been skipped by the per-combo check, so the whole
+    # subtree is pruned in O(1) and its leaf count (``suffix_leaves``)
+    # booked at once. No leaf in a pruned subtree can lower the
+    # incumbent (it would never be scored), so later decisions are
+    # unaffected — scored/pruned totals match the flat scan exactly.
+    n_fds = len(set_lists)
+    suffix_leaves = [1] * (n_fds + 1)
+    for i in range(n_fds - 1, -1, -1):
+        suffix_leaves[i] = suffix_leaves[i + 1] * len(set_lists[i])
+    family_members = set(family)
+    in_family = [i in family_members for i in range(n_fds)]
     with span(
         "combinations", total=total_combinations, prune=do_prune
     ) as combo_span:
-        for combo in itertools.product(*set_lists):
-            if do_prune and best_cost < float("inf"):
-                bound = sum(solo_bounds[i][combo[i]] for i in family)
-                if bound > best_cost:
-                    combos_pruned += 1
+        if suffix_leaves[0] > 0:
+            indices = [0] * n_fds
+            running = [0.0] * (n_fds + 1)
+            combo: List[FrozenSet[int]] = [frozenset()] * n_fds
+            depth = 0
+            while depth >= 0:
+                if indices[depth] >= len(set_lists[depth]):
+                    indices[depth] = 0
+                    depth -= 1
+                    if depth >= 0:
+                        indices[depth] += 1
                     continue
-            elements = [
-                [graphs[i].patterns[v].values for v in sorted(combo[i])]
-                for i in range(len(fds))
-            ]
-            try:
-                cost = evaluate_sets(
-                    relation, fds, model, elements, use_tree=use_tree
-                )
-            except TargetJoinError:
-                combos_infeasible += 1
-                continue
-            combos_scored += 1
-            if cost < best_cost:
-                best_cost = cost
-                best_elements = elements
+                members = set_lists[depth][indices[depth]]
+                partial = running[depth]
+                if do_prune and in_family[depth]:
+                    partial = partial + solo_bounds[depth][members]
+                if (
+                    do_prune
+                    and best_cost < float("inf")
+                    and partial > best_cost
+                ):
+                    combos_pruned += suffix_leaves[depth + 1]
+                    prune_events += 1
+                    indices[depth] += 1
+                    continue
+                combo[depth] = members
+                running[depth + 1] = partial
+                if depth + 1 < n_fds:
+                    depth += 1
+                    continue
+                elements = [
+                    [graphs[i].patterns[v].values for v in sorted(combo[i])]
+                    for i in range(len(fds))
+                ]
+                try:
+                    cost = evaluate_sets(
+                        relation, fds, model, elements, use_tree=use_tree
+                    )
+                except TargetJoinError:
+                    combos_infeasible += 1
+                else:
+                    combos_scored += 1
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_elements = elements
+                indices[depth] += 1
         combo_span.set(
             scored=combos_scored,
             pruned=combos_pruned,
             infeasible=combos_infeasible,
+            prune_events=prune_events,
         )
 
     if best_elements is None:

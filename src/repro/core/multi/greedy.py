@@ -34,7 +34,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
@@ -45,6 +45,7 @@ from repro.core.repair import RepairResult, apply_edits
 from repro.core.violation import PreparedProjection
 from repro.dataset.relation import Relation
 from repro.index.registry import AttributeIndexRegistry
+from repro.obs import span
 
 
 class _FDState:
@@ -245,39 +246,87 @@ def repair_multi_fd_greedy(
             total += cost
         return total
 
-    # Multiplicity-dominant vertices join first (see
-    # repro.core.single.greedy.greedy_independent_set for the rationale:
-    # a pattern more frequent than everything it conflicts with is the
-    # right anchor in all but adversarial cases).
-    for state in states:
-        graph = state.graph
-        for v in sorted(range(len(graph)), key=lambda u: (-graph.multiplicity(u), u)):
-            if v in state.chosen or v in state.blocked:
-                continue
-            rank = (graph.multiplicity(v), -v)
-            if all(
-                (graph.multiplicity(u), -u) < rank for u in graph.neighbors(v)
-            ):
-                state.add(v)
+    # tuple_cost(i, v) reads the chosen-set only through best_choice's
+    # pool test, which looks at most two hops from each neighbor u of v
+    # — i.e. three hops from v. Cross-FD terms (conflict_weight,
+    # vertex_of_tid, the monotone novel-pattern memo, median costs) are
+    # static for the whole loop. A score therefore stays valid until a
+    # vertex within graph distance 3 of it joins the set, so the cache
+    # below only drops that ball per addition instead of rescoring the
+    # whole candidate pool on every heap revalidation.
+    score_cache: Dict[Tuple[int, int], float] = {}
+    cache_hits = 0
 
-    # Lazy priority queue over (fd index, vertex) candidates.
-    heap: List[Tuple[float, int, int]] = []
-    for i, state in enumerate(states):
-        for v in state.candidates():
-            heapq.heappush(heap, (tuple_cost(i, v), i, v))
-
-    iterations = 0
-    while heap:
-        score, i, v = heapq.heappop(heap)
-        state = states[i]
-        if v in state.chosen or v in state.blocked:
-            continue
+    def cached_tuple_cost(i: int, v: int) -> float:
+        nonlocal cache_hits
+        hit = score_cache.get((i, v))
+        if hit is not None:
+            cache_hits += 1
+            return hit
         fresh = tuple_cost(i, v)
-        if heap and fresh > heap[0][0] + 1e-12:
-            heapq.heappush(heap, (fresh, i, v))
-            continue
-        state.add(v)
-        iterations += 1
+        score_cache[(i, v)] = fresh
+        return fresh
+
+    def invalidate_ball(i: int, center: int) -> None:
+        graph = states[i].graph
+        ball = {center}
+        frontier = {center}
+        for _ in range(3):
+            reached = set()
+            for u in frontier:
+                reached.update(graph.neighbors(u))
+            reached -= ball
+            ball |= reached
+            frontier = reached
+        for u in ball:
+            score_cache.pop((i, u), None)
+
+    with span("greedy/grow", fds=[fd.name for fd in fds]) as grow_span:
+        # Multiplicity-dominant vertices join first (see
+        # repro.core.single.greedy.greedy_independent_set for the rationale:
+        # a pattern more frequent than everything it conflicts with is the
+        # right anchor in all but adversarial cases).
+        for state in states:
+            graph = state.graph
+            for v in sorted(
+                range(len(graph)), key=lambda u: (-graph.multiplicity(u), u)
+            ):
+                if v in state.chosen or v in state.blocked:
+                    continue
+                rank = (graph.multiplicity(v), -v)
+                if all(
+                    (graph.multiplicity(u), -u) < rank
+                    for u in graph.neighbors(v)
+                ):
+                    state.add(v)
+
+        # Lazy priority queue over (fd index, vertex) candidates.
+        heap: List[Tuple[float, int, int]] = []
+        for i, state in enumerate(states):
+            for v in state.candidates():
+                heapq.heappush(heap, (cached_tuple_cost(i, v), i, v))
+
+        iterations = 0
+        revalidations = 0
+        while heap:
+            score, i, v = heapq.heappop(heap)
+            state = states[i]
+            if v in state.chosen or v in state.blocked:
+                revalidations += 1
+                continue
+            fresh = cached_tuple_cost(i, v)
+            if heap and fresh > heap[0][0] + 1e-12:
+                heapq.heappush(heap, (fresh, i, v))
+                revalidations += 1
+                continue
+            state.add(v)
+            invalidate_ball(i, v)
+            iterations += 1
+        grow_span.set(
+            iterations=iterations,
+            heap_revalidations=revalidations,
+            tuple_cost_cache_hits=cache_hits,
+        )
 
     elements = [
         [state.graph.patterns[v].values for v in sorted(state.chosen)]
@@ -295,6 +344,7 @@ def repair_multi_fd_greedy(
     stats: Dict[str, object] = {
         "algorithm": "greedy-m",
         "iterations": iterations,
+        "search_heap_revalidations": revalidations,
         **repair_stats,
     }
     accumulate_join_counters(stats, [state.graph for state in states])

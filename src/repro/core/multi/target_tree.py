@@ -38,7 +38,15 @@ _TRAJECTORY_CAP = 512
 class _Node:
     """One target-tree node: an independent-set element plus bookkeeping."""
 
-    __slots__ = ("fd", "element", "parent", "children", "assignment", "subtree_values")
+    __slots__ = (
+        "fd",
+        "element",
+        "parent",
+        "children",
+        "assignment",
+        "subtree_values",
+        "edist_memo",
+    )
 
     def __init__(
         self,
@@ -57,6 +65,10 @@ class _Node:
                 self.assignment[attr] = value
         #: per-attribute values appearing in full-depth descendants
         self.subtree_values: Dict[str, Set] = {}
+        #: (attr, query value) -> EDIST term; the subtree value sets are
+        #: frozen after construction, so the bound is a pure function of
+        #: the query value and can be reused across searches of one tree.
+        self.edist_memo: Dict[Tuple[str, object], float] = {}
 
 
 class TargetTree:
@@ -96,6 +108,7 @@ class TargetTree:
         self.searches = 0
         self.nodes_visited = 0
         self.nodes_pruned = 0
+        self.edist_hits = 0
         # Trace-gated f-value trajectory: the popped best-first f values
         # of the *first* search only, capped — enough to plot how fast
         # the bound converges without touching the hot path when off.
@@ -247,7 +260,7 @@ class TargetTree:
                 best = node
                 continue
             for child in node.children:
-                f_child = self._f(child, dist)
+                f_child = self._f(child, dist, query)
                 if f_child < c_min:
                     heapq.heappush(heap, (f_child, next(counter), depth + 1, child))
                 else:
@@ -262,9 +275,15 @@ class TargetTree:
             c_min,
         )
 
-    def _f(self, node: _Node, dist) -> float:
+    def _f(self, node: _Node, dist, query: Dict[str, object]) -> float:
         """RDIST + EDIST: exact cost of fixed attributes plus a lower
-        bound over attributes still open below *node*."""
+        bound over attributes still open below *node*.
+
+        EDIST terms depend only on the query value and the node's frozen
+        subtree value set, so they are memoized on the node and shared
+        across every search of this tree (``edist_hits`` counts reuse);
+        a repeated query value skips the whole min-scan.
+        """
         rdist = 0.0
         for attr, value in node.assignment.items():
             rdist += dist(attr, value)
@@ -275,5 +294,12 @@ class TargetTree:
             candidates = node.subtree_values.get(attr)
             if not candidates:
                 continue
-            edist += min(dist(attr, value) for value in candidates)
+            key = (attr, query[attr])
+            bound = node.edist_memo.get(key)
+            if bound is None:
+                bound = min(dist(attr, value) for value in candidates)
+                node.edist_memo[key] = bound
+            else:
+                self.edist_hits += 1
+            edist += bound
         return rdist + edist

@@ -17,7 +17,8 @@ inside the set. Complexity O(|I| * |V|) on the grouped graph.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Sequence, Set
+import heapq
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
@@ -25,12 +26,14 @@ from repro.core.graph import ViolationGraph, accumulate_join_counters
 from repro.core.repair import RepairResult, apply_edits
 from repro.core.single.exact import materialize_pattern_assignment
 from repro.dataset.relation import Relation
+from repro.obs import span
 
 
 def greedy_independent_set(
     graph: ViolationGraph,
     vertices: Optional[Sequence[int]] = None,
     seed_dominant: bool = True,
+    counters: Optional[Dict[str, int]] = None,
 ) -> FrozenSet[int]:
     """Algorithm 2's expected best maximal independent set.
 
@@ -50,10 +53,45 @@ def greedy_independent_set(
     conflicts with belongs to the optimal set in all but adversarial
     cases — and ``seed_dominant=False`` restores the paper's literal
     greedy (the ablation benches compare both).
+
+    *counters* (optional) accumulates search instrumentation
+    (``search_heap_revalidations``) into the caller's stats dict.
     """
     order = list(vertices) if vertices is not None else list(range(len(graph)))
     if not order:
         return frozenset()
+    with span(
+        "greedy/grow", fd=graph.fd.name, vertices=len(order)
+    ) as grow_span:
+        chosen, revalidations = _grow(graph, order, seed_dominant)
+        grow_span.set(
+            independent_set_size=len(chosen),
+            heap_revalidations=revalidations,
+        )
+    if counters is not None:
+        counters["search_heap_revalidations"] = (
+            counters.get("search_heap_revalidations", 0) + revalidations
+        )
+    return chosen
+
+
+def _grow(
+    graph: ViolationGraph, order: Sequence[int], seed_dominant: bool
+) -> Tuple[FrozenSet[int], int]:
+    """The Eq. (7)/(8) growth loop behind :func:`greedy_independent_set`.
+
+    Returns ``(chosen set, heap revalidations)``. The growth loop keeps
+    candidates in a lazy min-heap keyed by their last computed Eq. (8)
+    cost: adding a vertex only changes the incremental cost of
+    candidates that share a neighbor with it (the cost reads
+    ``current_cost`` solely on the candidate's own neighborhood), so
+    only that two-hop ball is recomputed per round instead of the whole
+    pool. Stale heap entries — superseded keys, or candidates absorbed
+    into conflict — are discarded on pop and counted as revalidations.
+    Pop order ``(cost, vertex)`` matches the old full scan's
+    ``min(..., key=lambda t: (incremental_cost(t), t))`` tie-break, so
+    the chosen sequence is identical.
+    """
     allowed = set(order)
 
     def directed(v: int, u: int) -> float:
@@ -96,26 +134,48 @@ def greedy_independent_set(
         # The seeded isolated vertices have no neighbors: nothing to absorb.
         pass
 
-    while candidates:
-        def incremental_cost(t: int) -> float:
-            """Eq. (8) for candidate t against the current set."""
-            delta = 0.0
-            for v in graph.neighbors(t):
-                if v not in allowed:
-                    continue
-                cost_to_t = directed(v, t)
-                if v in current_cost:  # v in N(t) ∩ N(I)
-                    delta += min(current_cost[v], cost_to_t) - current_cost[v]
-                else:  # v in N(t) \ N(I)
-                    delta += cost_to_t
-            return delta
+    def incremental_cost(t: int) -> float:
+        """Eq. (8) for candidate t against the current set."""
+        delta = 0.0
+        for v in graph.neighbors(t):
+            if v not in allowed:
+                continue
+            cost_to_t = directed(v, t)
+            if v in current_cost:  # v in N(t) ∩ N(I)
+                delta += min(current_cost[v], cost_to_t) - current_cost[v]
+            else:  # v in N(t) \ N(I)
+                delta += cost_to_t
+        return delta
 
-        best = min(candidates, key=lambda t: (incremental_cost(t), t))
+    current_key: Dict[int, float] = {t: incremental_cost(t) for t in candidates}
+    heap: List[Tuple[float, int]] = [
+        (cost, t) for t, cost in current_key.items()
+    ]
+    heapq.heapify(heap)
+    revalidations = 0
+    while candidates:
+        cost, best = heapq.heappop(heap)
+        if best not in candidates or cost != current_key[best]:
+            revalidations += 1
+            continue
         chosen.add(best)
         candidates.discard(best)
+        del current_key[best]
+        touched = graph.neighbors(best)
         _absorb(graph, best, allowed, candidates, current_cost)
+        affected: Set[int] = set()
+        for v in touched:
+            if v in allowed:
+                for t in graph.neighbors(v):
+                    if t in candidates:
+                        affected.add(t)
+        for t in affected:
+            fresh = incremental_cost(t)
+            if fresh != current_key[t]:
+                current_key[t] = fresh
+                heapq.heappush(heap, (fresh, t))
 
-    return frozenset(chosen)
+    return frozenset(chosen), revalidations
 
 
 def _absorb(
@@ -158,7 +218,8 @@ def repair_single_fd_greedy(
         grouping=grouping,
         registry=registry,
     )
-    independent = greedy_independent_set(graph)
+    search_counters: Dict[str, int] = {}
+    independent = greedy_independent_set(graph, counters=search_counters)
     assignment, cost = graph.repair_assignment(independent)
     edits = materialize_pattern_assignment(relation, graph, assignment)
     repaired = apply_edits(relation, edits)
@@ -167,6 +228,7 @@ def repair_single_fd_greedy(
         "graph_vertices": len(graph),
         "graph_edges": graph.edge_count,
         "independent_set_size": len(independent),
+        **search_counters,
     }
     accumulate_join_counters(stats, [graph])
     return RepairResult(repaired, edits, cost, stats)

@@ -15,19 +15,65 @@ For the *optimal repair* search, a node may be pruned when its repair
 lower bound (Eq. 5) exceeds the best known upper bound (Eq. 6): every
 repair reachable from the node is then provably beaten by an already
 known feasible repair.
+
+The production engine (:func:`enumerate_maximal_independent_sets`) runs
+the level-synchronous schedule as an explicit work-list branch-and-bound
+over the :class:`~repro.core.graph.ComponentMasks` bitset view:
+
+* each frontier node is one prefix-mask; FT-conflict, ``FTC``, and
+  prefix-maximality checks are ``&``/``|`` word operations against a
+  per-node *coverage mask* (members plus their neighborhoods);
+* the Eq. (5) lower bound is **memoized per prefix-mask** and carried
+  incrementally level to level (the same left-to-right float
+  accumulation the scratch recomputation performs, so bounds are
+  bit-identical to the oracle's);
+* the Eq. (6) upper bound is computed **once per emitted mask** (the
+  oracle recomputes it for every frontier node at every level) and
+  folded into the incumbent at the next level boundary — exactly the
+  point the oracle's fold becomes visible to pruning decisions;
+* nodes with equal prefix-masks are merged (*dominance*): later
+  expansion paths reaching an already-frontier mask are dominated by
+  the first and dropped, which is also what bounds the tree width.
+
+Every decision the engine takes — emission order, duplicate merging,
+pruning, the node count that trips :class:`ExpansionLimitError` — is
+bit-for-bit identical to the set-based reference implementation, which
+is kept as :func:`enumerate_maximal_independent_sets_setbased` and
+cross-checked by the Hypothesis differential suite
+(``tests/test_search_bitset.py``), the same oracle discipline the
+``two_row``/``banded`` distance kernels follow.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
-from repro.core.graph import ViolationGraph
+from repro.core.graph import ViolationGraph, mask_bits
 from repro.obs import span
+
+try:  # pragma: no cover - exercised indirectly; numpy ships with the toolchain
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
 
 
 class ExpansionLimitError(RuntimeError):
-    """Raised when enumeration exceeds the caller's node budget."""
+    """Raised when enumeration exceeds the caller's node budget.
+
+    Carries the configured *limit* and the *nodes_generated* count that
+    tripped it (plus the level reached), so budget tuning can start from
+    the numbers in the message instead of guesswork.
+    """
+
+    def __init__(self, limit: int, nodes_generated: int, level: int) -> None:
+        super().__init__(
+            f"expansion exceeded the {limit}-node budget "
+            f"({nodes_generated} nodes generated at level {level})"
+        )
+        self.limit = limit
+        self.nodes_generated = nodes_generated
+        self.level = level
 
 
 @dataclass
@@ -40,6 +86,14 @@ class ExpansionStats:
     duplicates_removed: int = 0
     non_maximal_discarded: int = 0
     sets_enumerated: int = 0
+    #: frontier nodes processed by the work-list loop
+    search_nodes_expanded: int = 0
+    #: big-int mask operations on the hot path (conflict / FTC / coverage)
+    search_bitset_ops: int = 0
+    #: prune checks served by a memoized (carried) bound
+    search_bound_hits: int = 0
+    #: expansion paths merged into an already-frontier prefix-mask
+    search_dominance_prunes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -49,6 +103,10 @@ class ExpansionStats:
             "duplicates_removed": self.duplicates_removed,
             "non_maximal_discarded": self.non_maximal_discarded,
             "sets_enumerated": self.sets_enumerated,
+            "search_nodes_expanded": self.search_nodes_expanded,
+            "search_bitset_ops": self.search_bitset_ops,
+            "search_bound_hits": self.search_bound_hits,
+            "search_dominance_prunes": self.search_dominance_prunes,
         }
 
 
@@ -114,6 +172,10 @@ def enumerate_maximal_independent_sets(
     exhaustive enumeration). *max_nodes* bounds the total number of tree
     nodes; exceeding it raises :class:`ExpansionLimitError` so callers
     can fall back to the greedy algorithm.
+
+    This is the bitset engine (module docstring); results, statistics,
+    and the budget-trip point are identical to
+    :func:`enumerate_maximal_independent_sets_setbased`.
     """
     order = list(vertices) if vertices is not None else list(range(len(graph)))
     if stats is None:
@@ -123,56 +185,223 @@ def enumerate_maximal_independent_sets(
     with span(
         "mis/expand", fd=graph.fd.name, vertices=len(order), prune=prune
     ) as expand_span:
-        min_out = _min_outgoing_cost(graph, order) if prune else {}
+        masks = graph.subgraph_masks(order)
+        adjacency = masks.adjacency
+        n = len(order)
+        infinity = float("inf")
+        best_upper = infinity
 
-        current: List[FrozenSet[int]] = [frozenset({order[0]})]
+        min_out: List[float] = []
+        cost_columns = None
+        multiplicities = masks.multiplicities
+        if prune:
+            by_vertex = _min_outgoing_cost(graph, order)
+            min_out = [by_vertex[v] for v in order]
+            cost_rows = masks.cost_rows()
+            if _np is not None:
+                cost_columns = _np.array(cost_rows, dtype=float)
+
+        def upper_of(mask: int) -> float:
+            """Eq. (6) for one prefix-mask, computed once at emission.
+
+            The member-column minimum is order-independent, so the
+            vectorized path returns the same doubles the oracle's
+            ``min()`` produces; the outer accumulation walks outside
+            vertices in dense (= access) order, the oracle's sum order.
+            """
+            members = mask_bits(mask)
+            if cost_columns is not None:
+                column = cost_columns[:, members].min(axis=1).tolist()
+            else:
+                rows = cost_rows
+                column = [
+                    min(rows[i][j] for j in members) for i in range(n)
+                ]
+            total = 0.0
+            outside = masks.full_mask & ~mask
+            while outside:
+                low = outside & -outside
+                index = low.bit_length() - 1
+                total += multiplicities[index] * column[index]
+                outside ^= low
+            return total
+
+        def fresh_lower(mask: int, upto: int) -> float:
+            """Eq. (5) over dense prefix ``[0, upto)``, left-to-right."""
+            total = 0.0
+            for index in range(upto):
+                if not (mask >> index) & 1:
+                    total += min_out[index]
+            return total
+
+        # The frontier: parallel lists indexed per node. ``coverage`` is
+        # members ∪ their neighborhoods — the maximality certificate.
+        frontier_masks: List[int] = [1]
+        frontier_lower: List[float] = [0.0]
+        frontier_coverage: List[int] = [1 | adjacency[0]]
         stats.nodes_generated += 1
-        best_upper = float("inf")
+        pending_upper: List[float] = [upper_of(1)] if prune else []
 
-        for level in range(1, len(order)):
+        for level in range(1, n):
             stats.levels = level
-            vertex = order[level]
-            # Vertices decided so far (D_i of Eq. 5). `vertex` itself is NOT
-            # part of the bound's prefix: it may still join the set at zero
-            # cost, so charging its min-out repair would overestimate the
-            # bound and prune optimal branches.
-            decided = order[:level]
-            prefix = order[: level + 1]
+            vertex_adjacency = adjacency[level]
+            vertex_bit = 1 << level
+            prefix_mask = (vertex_bit << 1) - 1
             if prune:
-                for node in current:
-                    best_upper = min(
-                        best_upper, _upper_bound(graph, order, node)
-                    )
-            next_level: Dict[FrozenSet[int], None] = {}
+                # Fold the uppers of everything emitted into this
+                # frontier — the exact set the oracle folds at the top
+                # of the level, before any prune check reads it.
+                for value in pending_upper:
+                    if value < best_upper:
+                        best_upper = value
+                pending_upper = []
 
-            def emit(candidate: FrozenSet[int]) -> None:
-                if candidate in next_level:
+            emitted_index: Dict[int, int] = {}
+            next_masks: List[int] = []
+            next_lower: List[float] = []
+            next_coverage: List[int] = []
+
+            def emit(mask: int, lower: float, coverage: int) -> None:
+                if mask in emitted_index:
                     stats.duplicates_removed += 1
+                    stats.search_dominance_prunes += 1
                     return
-                next_level[candidate] = None
+                emitted_index[mask] = len(next_masks)
                 stats.nodes_generated += 1
                 if max_nodes is not None and stats.nodes_generated > max_nodes:
                     raise ExpansionLimitError(
-                        f"expansion exceeded {max_nodes} nodes at level {level}"
+                        max_nodes, stats.nodes_generated, level
                     )
+                next_masks.append(mask)
+                next_lower.append(lower)
+                next_coverage.append(coverage)
+                if prune:
+                    pending_upper.append(upper_of(mask))
 
-            for node in current:
-                if prune and _lower_bound(decided, node, min_out) > best_upper:
-                    stats.nodes_pruned += 1
-                    continue
-                adjacency = graph.neighbors(vertex)
-                if not any(member in adjacency for member in node):
-                    emit(node | {vertex})
+            for position in range(len(frontier_masks)):
+                mask = frontier_masks[position]
+                lower = frontier_lower[position]
+                stats.search_nodes_expanded += 1
+                if prune:
+                    # The bound was carried from the parent level — a
+                    # memo hit where the oracle recomputes from scratch.
+                    stats.search_bound_hits += 1
+                    if lower > best_upper:
+                        stats.nodes_pruned += 1
+                        continue
+                coverage = frontier_coverage[position]
+                stats.search_bitset_ops += 1
+                if vertex_adjacency & mask == 0:
+                    # FT-consistent: the only child adds the vertex.
+                    emit(
+                        mask | vertex_bit,
+                        lower,
+                        coverage | vertex_adjacency | vertex_bit,
+                    )
                 else:
-                    emit(node)  # still maximal in the larger prefix
-                    candidate = graph.consistent_subset(vertex, node) | {vertex}
-                    if _is_maximal_in_prefix(graph, candidate, prefix):
-                        emit(frozenset(candidate))
+                    # Still maximal in the larger prefix; the excluded
+                    # vertex appends its Eq. (5) term to the carried sum.
+                    emit(
+                        mask,
+                        lower + min_out[level] if prune else 0.0,
+                        coverage,
+                    )
+                    # FTC child: strip the conflicting members, add the
+                    # vertex, re-derive its coverage, test maximality.
+                    candidate = (mask & ~vertex_adjacency) | vertex_bit
+                    candidate_coverage = candidate
+                    remaining = candidate
+                    while remaining:
+                        low = remaining & -remaining
+                        candidate_coverage |= adjacency[low.bit_length() - 1]
+                        remaining ^= low
+                        stats.search_bitset_ops += 1
+                    if prefix_mask & ~candidate_coverage == 0:
+                        emit(
+                            candidate,
+                            fresh_lower(candidate, level + 1) if prune else 0.0,
+                            candidate_coverage,
+                        )
                     else:
                         stats.non_maximal_discarded += 1
-            current = list(next_level)
-        stats.sets_enumerated = len(current)
+            frontier_masks = next_masks
+            frontier_lower = next_lower
+            frontier_coverage = next_coverage
+        stats.sets_enumerated = len(frontier_masks)
         expand_span.set(**stats.as_dict())
+    order_tuple = masks.order
+    return [
+        frozenset(order_tuple[i] for i in mask_bits(mask))
+        for mask in frontier_masks
+    ]
+
+
+def enumerate_maximal_independent_sets_setbased(
+    graph: ViolationGraph,
+    vertices: Optional[Sequence[int]] = None,
+    prune: bool = False,
+    max_nodes: Optional[int] = None,
+    stats: Optional[ExpansionStats] = None,
+) -> List[FrozenSet[int]]:
+    """Reference set-based expansion (differential-test oracle).
+
+    The pre-bitset implementation, kept verbatim (modulo the richer
+    :class:`ExpansionLimitError`) so the Hypothesis suite can assert the
+    production engine reproduces its results, emission order, node
+    accounting, and budget-trip point exactly.
+    """
+    order = list(vertices) if vertices is not None else list(range(len(graph)))
+    if stats is None:
+        stats = ExpansionStats()
+    if not order:
+        return []
+    min_out = _min_outgoing_cost(graph, order) if prune else {}
+
+    current: List[FrozenSet[int]] = [frozenset({order[0]})]
+    stats.nodes_generated += 1
+    best_upper = float("inf")
+
+    for level in range(1, len(order)):
+        stats.levels = level
+        vertex = order[level]
+        # Vertices decided so far (D_i of Eq. 5). `vertex` itself is NOT
+        # part of the bound's prefix: it may still join the set at zero
+        # cost, so charging its min-out repair would overestimate the
+        # bound and prune optimal branches.
+        decided = order[:level]
+        prefix = order[: level + 1]
+        if prune:
+            for node in current:
+                best_upper = min(best_upper, _upper_bound(graph, order, node))
+        next_level: Dict[FrozenSet[int], None] = {}
+
+        def emit(candidate: FrozenSet[int]) -> None:
+            if candidate in next_level:
+                stats.duplicates_removed += 1
+                return
+            next_level[candidate] = None
+            stats.nodes_generated += 1
+            if max_nodes is not None and stats.nodes_generated > max_nodes:
+                raise ExpansionLimitError(
+                    max_nodes, stats.nodes_generated, level
+                )
+
+        for node in current:
+            if prune and _lower_bound(decided, node, min_out) > best_upper:
+                stats.nodes_pruned += 1
+                continue
+            adjacency = graph.neighbors(vertex)
+            if not any(member in adjacency for member in node):
+                emit(node | {vertex})
+            else:
+                emit(node)  # still maximal in the larger prefix
+                candidate = graph.consistent_subset(vertex, node) | {vertex}
+                if _is_maximal_in_prefix(graph, candidate, prefix):
+                    emit(frozenset(candidate))
+                else:
+                    stats.non_maximal_discarded += 1
+        current = list(next_level)
+    stats.sets_enumerated = len(current)
     return current
 
 
@@ -230,10 +459,36 @@ def best_maximal_independent_set(
     )
     if not candidates:
         raise ValueError("no vertices to enumerate over")
+    masks = graph.subgraph_masks(order)
+    adjacency = masks.adjacency
+    cost_rows = masks.cost_rows()
+    multiplicities = masks.multiplicities
+    full_mask = masks.full_mask
+    index_of = masks.index_of
+
+    def mask_assignment_cost(member_mask: int, members: List[int]) -> float:
+        """:func:`_assignment_cost` over the bitset view (same floats)."""
+        total = 0.0
+        outside = full_mask & ~member_mask
+        while outside:
+            low = outside & -outside
+            index = low.bit_length() - 1
+            pool = adjacency[index] & member_mask
+            row = cost_rows[index]
+            cheapest = min(
+                row[j] for j in (mask_bits(pool) if pool else members)
+            )
+            total += multiplicities[index] * cheapest
+            outside ^= low
+        return total
+
     best: Optional[FrozenSet[int]] = None
     best_cost = float("inf")
     for candidate in candidates:
-        cost = _assignment_cost(graph, order, candidate)
+        member_mask = 0
+        for v in candidate:
+            member_mask |= 1 << index_of[v]
+        cost = mask_assignment_cost(member_mask, mask_bits(member_mask))
         if cost < best_cost - 1e-12 or (
             abs(cost - best_cost) <= 1e-12
             and best is not None

@@ -22,7 +22,7 @@ with task results.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.distances import DistanceFn, DistanceModel, Weights
 from repro.dataset.relation import NUMERIC, Relation, Schema

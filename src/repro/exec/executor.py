@@ -31,6 +31,13 @@ and mid-search, when the expansion raises
 ``fallback="greedy"`` is configured. Either way a
 :class:`~repro.exec.stats.DegradedRepairWarning` is emitted and the
 component is recorded in ``result.stats.degraded_components``.
+
+**Bitset views and workers.** The search kernels operate on
+:class:`~repro.core.graph.ComponentMasks` bitset views cached per
+violation graph (``docs/search.md``). The views are plain Python state
+(big-int masks and float lists), so tasks pickle cleanly; each worker
+rebuilds its graphs' views lazily on first search, keeping shipped task
+payloads small while the per-component kernels stay worker-local.
 """
 
 from __future__ import annotations

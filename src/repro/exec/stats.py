@@ -111,8 +111,14 @@ class ExecutionStats(dict):
             "index_reuses",
             "target_tree_nodes_visited",
             "target_tree_nodes_pruned",
+            "target_tree_edist_hits",
             "nodes_expanded",
             "combinations_pruned",
+            "search_nodes_expanded",
+            "search_bitset_ops",
+            "search_bound_hits",
+            "search_dominance_prunes",
+            "search_heap_revalidations",
         ):
             if key in self:
                 out[key] = int(self[key])

@@ -31,7 +31,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
-from repro.obs.trace import Span, Tracer
+from repro.obs.trace import Tracer
 
 SCHEMA_VERSION = 1
 

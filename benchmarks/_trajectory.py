@@ -22,15 +22,28 @@ Each entry also breaks the *search phase* out of the span totals
 the numbers ``benchmarks/check_search_gate.py`` compares against the
 committed pre-bitset baselines.
 
+``--substrate`` appends a ``tax_substrate`` entry instead: the columnar
+substrate measured at paper scale — a 1M-row (125k at smoke) Tax load in
+fresh subprocesses at two sizes (the marginal per-tuple RSS between them
+is the flatness number ``benchmarks/check_substrate_gate.py`` gates), an
+``n_jobs=2`` repair recording the relation-shipping traffic
+(``relation_bytes_shipped``, per-task message sizes, and the row-major
+bytes the pre-1.2 substrate would have pickled per task), and the
+800-tuple HOSP output hash of every algorithm (always the smoke slice,
+so the gate can pin exact values at every scale).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/_trajectory.py \
-        [--algorithm greedy-m] [path/to/BENCH_repair.json]
+        [--algorithm greedy-m] [--substrate] [path/to/BENCH_repair.json]
 """
 
 from __future__ import annotations
 
+import gc
 import json
+import pickle
+import subprocess
 import sys
 import time
 import warnings
@@ -54,6 +67,17 @@ from repro.generator.noise import NoiseConfig, inject_noise  # noqa: E402
 DEFAULT_PATH = ROOT / "BENCH_repair.json"
 HOSP_SLICE_N = 5000 if SCALE == "paper" else 800
 ALGORITHM = "greedy-m"
+
+#: --substrate: Tax rows at full load (the paper's largest x-axis)
+TAX_SUBSTRATE_N = 1_000_000 if SCALE == "paper" else 125_000
+#: fixed entity-catalog sizes — a constant active domain makes the load
+#: linear in n and is the shape that exercises dictionary encoding
+TAX_CATALOG = {"n_residences": 400, "n_employers": 300, "n_filings": 40}
+#: rows of the noisy slice the shipping measurement repairs at n_jobs=2
+TAX_SHIPPING_N = 2000
+#: every algorithm's hash is pinned on the 800-tuple smoke HOSP slice
+HASH_SLICE_N = 800
+HASH_ALGORITHMS = ("appro-m", "exact-m", "exact-s", "greedy-m", "greedy-s")
 
 #: search-phase entry keys -> the span names whose totals they sum
 SEARCH_PHASES = {
@@ -140,8 +164,151 @@ def run_entry(algorithm: str = ALGORITHM) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# --substrate: columnar memory, shipping traffic, and hash pinning
+# ----------------------------------------------------------------------
+def _vm_rss_bytes() -> int:
+    """Current resident set size, from /proc (Linux)."""
+    with open("/proc/self/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmRSS"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("VmRSS not found in /proc/self/status")
+
+
+def substrate_point(n: int) -> dict:
+    """Load an n-row Tax instance and measure its resident footprint.
+
+    Run in a *fresh* subprocess per point (``--_substrate-point``), so
+    the RSS reflects one relation and not interpreter history; the gate
+    uses the marginal bytes between two points, which also cancels the
+    fixed interpreter + import overhead out.
+    """
+    from repro.generator.tax import generate_tax
+
+    relation = generate_tax(n, rng=0, **TAX_CATALOG)
+    gc.collect()
+    stats = relation.dict_stats()
+    return {
+        "n_tuples": len(relation),
+        "rss_bytes": _vm_rss_bytes(),
+        "encoded_bytes": stats["encoded_bytes"],
+        "dictionary_entries": stats["dictionary_entries"],
+        "dict_hit_rate": round(stats["dict_hit_rate"], 6),
+    }
+
+
+def _measure_point(n: int) -> dict:
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--_substrate-point", str(n)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def _shipping_measurement() -> dict:
+    """An n_jobs=2 Tax repair, recording what crossed the pool boundary."""
+    from repro.core.engine import Repairer
+    from repro.generator.noise import NoiseConfig, inject_noise
+    from repro.generator.tax import (
+        TAX_FDS,
+        generate_tax,
+        tax_thresholds,
+    )
+
+    clean = generate_tax(TAX_SHIPPING_N, rng=5, **TAX_CATALOG)
+    relation, _errors = inject_noise(clean, TAX_FDS, NoiseConfig(), rng=13)
+    repairer = Repairer(
+        TAX_FDS,
+        algorithm="greedy-m",
+        thresholds=tax_thresholds(),
+        n_jobs=2,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        result = repairer.repair(relation)
+    stats = result.stats
+    # what the pre-1.2 substrate paid: the whole relation pickled into
+    # every per-task message, row-major (schema + row tuples)
+    row_major = len(
+        pickle.dumps((relation.schema, list(relation)), protocol=5)
+    )
+    components = int(stats.get("fd_components", 0))
+    return {
+        "n_tuples": len(relation),
+        "n_jobs": stats.n_jobs,
+        "fd_components": components,
+        "relations_shipped": int(stats.get("relations_shipped", 0)),
+        "relation_payload_bytes": int(stats.get("relation_payload_bytes", 0)),
+        "relation_bytes_shipped": stats.relation_bytes_shipped,
+        "task_bytes_max": stats.task_bytes_max,
+        "task_bytes_total": int(stats.get("task_bytes_total", 0)),
+        "row_major_task_bytes": row_major,
+        "row_major_total_bytes": row_major * components,
+        "task_reduction_ratio": round(
+            row_major / stats.task_bytes_max, 2
+        ) if stats.task_bytes_max else None,
+        "dict_hit_rate": round(stats.dict_hit_rate, 6),
+    }
+
+
+def _hash_sweep() -> dict:
+    """Every algorithm's output hash on the pinned 800-tuple HOSP slice."""
+    from repro.obs import repair_output_hash
+
+    clean = generate_hosp(HASH_SLICE_N, rng=7)
+    relation, _errors = inject_noise_hosp(clean)
+    weights = Weights(0.5, 0.5)
+    thresholds = hosp_thresholds(weights=weights)
+    hashes = {}
+    for algorithm in HASH_ALGORITHMS:
+        extra = {"fallback": "greedy"} if algorithm.startswith("exact") else {}
+        repairer = Repairer(
+            HOSP_FDS,
+            algorithm=algorithm,
+            weights=weights,
+            thresholds=thresholds,
+            **extra,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = repairer.repair(relation)
+        hashes[algorithm] = repair_output_hash(result.edits, result.cost)
+    return hashes
+
+
+def inject_noise_hosp(clean):
+    from repro.generator.noise import NoiseConfig, inject_noise
+
+    return inject_noise(clean, HOSP_FDS, NoiseConfig(), rng=11)
+
+
+def run_substrate_entry() -> dict:
+    """The ``tax_substrate`` trajectory entry (see module docstring)."""
+    small = _measure_point(max(TAX_SUBSTRATE_N // 8, 1000))
+    full = _measure_point(TAX_SUBSTRATE_N)
+    marginal = (full["rss_bytes"] - small["rss_bytes"]) / (
+        full["n_tuples"] - small["n_tuples"]
+    )
+    shipping = _shipping_measurement()
+    return {
+        "workload": "tax_substrate",
+        "scale": SCALE,
+        "n_tuples": TAX_SUBSTRATE_N,
+        "calibration_seconds": round(calibration_seconds(), 4),
+        "load_points": [small, full],
+        "marginal_bytes_per_tuple": round(marginal, 2),
+        "shipping": shipping,
+        "hash_slice_n": HASH_SLICE_N,
+        "output_hashes": _hash_sweep(),
+    }
+
+
 def main(argv: list) -> int:
     algorithm = ALGORITHM
+    substrate = False
     positional = []
     rest = list(argv[1:])
     while rest:
@@ -151,9 +318,31 @@ def main(argv: list) -> int:
                 print("--algorithm requires a value", file=sys.stderr)
                 return 2
             algorithm = rest.pop(0)
+        elif arg == "--substrate":
+            substrate = True
+        elif arg == "--_substrate-point":
+            print(json.dumps(substrate_point(int(rest.pop(0)))))
+            return 0
         else:
             positional.append(arg)
     path = Path(positional[0]) if positional else DEFAULT_PATH
+    if substrate:
+        entry = run_substrate_entry()
+        trajectory = []
+        if path.exists():
+            trajectory = json.loads(path.read_text())
+        trajectory.append(entry)
+        path.write_text(json.dumps(trajectory, indent=2) + "\n")
+        print(
+            f"substrate: {entry['n_tuples']} Tax tuples ({SCALE}) — "
+            f"{entry['marginal_bytes_per_tuple']} B/tuple marginal RSS, "
+            f"task max {entry['shipping']['task_bytes_max']} B "
+            f"({entry['shipping']['task_reduction_ratio']}x smaller than "
+            f"row-major), {len(entry['output_hashes'])} hash(es) pinned; "
+            f"{len(trajectory)} entr{'y' if len(trajectory) == 1 else 'ies'} "
+            f"in {path}"
+        )
+        return 0
     entry = run_entry(algorithm)
     trajectory = []
     if path.exists():

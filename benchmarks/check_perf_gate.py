@@ -92,8 +92,11 @@ def main(argv: list) -> int:
         return EXIT_MISSING
     try:
         trajectory = json.loads(path.read_text())
-        latest = trajectory[-1]
-        baseline = find_baseline(trajectory, latest)
+        # Only timed repair runs count here; side-channel entries (e.g.
+        # the tax_substrate memory/traffic entry) have their own gates.
+        runs = [e for e in trajectory if "wall_seconds" in e]
+        latest = runs[-1]
+        baseline = find_baseline(runs, latest)
         base_rate = calibrated(baseline)
         last_rate = calibrated(latest)
         base_hash = baseline["output_hash"]

@@ -1,0 +1,149 @@
+"""CI gate over the columnar-substrate ``tax_substrate`` entries.
+
+Checks the **latest** ``tax_substrate`` entry appended by
+``benchmarks/_trajectory.py --substrate`` against fixed ceilings (no
+baseline entry needed — the properties are absolute):
+
+1. **Flat memory** — the marginal resident bytes per tuple between the
+   two Tax load points must stay under ``MARGINAL_BYTES_CEILING``. The
+   columnar layout costs 4 bytes per cell (64 B for Tax's 16
+   attributes) plus allocator slack; a pointer-per-cell row-major
+   relation is several hundred bytes per tuple and blows the ceiling.
+2. **Small task messages** — ``task_bytes_max`` (the largest per-task
+   request pickle of the ``n_jobs=2`` repair) must stay under
+   ``TASK_BYTES_CEILING``, and the recorded row-major per-task bytes
+   must be at least ``MIN_TASK_REDUCTION``x larger — the pre-1.2
+   substrate embedded the whole relation in every task.
+3. **Unchanged repairs** — the output hash of every algorithm on the
+   pinned 800-tuple HOSP slice must equal the row-major-era constants.
+   Any drift means the encoding changed repair semantics.
+
+Exit status follows ``benchmarks/_gate.py``: 0 pass, 1 regression,
+2 missing/malformed trajectory.
+
+Usage::
+
+    python benchmarks/check_substrate_gate.py [path/to/BENCH_repair.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    ROOT,
+    verdict_summary,
+)
+
+DEFAULT_PATH = ROOT / "BENCH_repair.json"
+
+#: marginal resident bytes per Tax tuple (16 attrs x 4 B encoded = 64 B;
+#: measured ~62 B — the ceiling leaves room for allocator variance)
+MARGINAL_BYTES_CEILING = 160.0
+#: largest allowed per-task request message, bytes (measured ~1.2 KiB)
+TASK_BYTES_CEILING = 16384
+#: per-task payload shrink factor vs the row-major substrate
+MIN_TASK_REDUCTION = 10.0
+#: repair output hashes on the pinned 800-tuple HOSP slice, recorded on
+#: the row-major substrate before the columnar rewrite
+EXPECTED_HASHES = {
+    "appro-m": "ed47302ef255617b",
+    "exact-m": "ed47302ef255617b",
+    "exact-s": "3a25e7b8fe51b497",
+    "greedy-m": "ed47302ef255617b",
+    "greedy-s": "3a25e7b8fe51b497",
+}
+
+
+def check(entry: dict) -> list:
+    """All gate failures of one entry (empty = pass)."""
+    failures = []
+    marginal = float(entry.get("marginal_bytes_per_tuple", float("inf")))
+    if marginal > MARGINAL_BYTES_CEILING:
+        failures.append(
+            f"marginal RSS {marginal:.1f} B/tuple exceeds the "
+            f"{MARGINAL_BYTES_CEILING:.0f} B ceiling (memory not flat)"
+        )
+    shipping = entry.get("shipping", {})
+    task_max = int(shipping.get("task_bytes_max", 0))
+    if not task_max:
+        failures.append("no task_bytes_max recorded")
+    elif task_max > TASK_BYTES_CEILING:
+        failures.append(
+            f"largest task message {task_max} B exceeds the "
+            f"{TASK_BYTES_CEILING} B ceiling"
+        )
+    row_major = int(shipping.get("row_major_task_bytes", 0))
+    if task_max and row_major / task_max < MIN_TASK_REDUCTION:
+        failures.append(
+            f"task payload only {row_major / task_max:.1f}x smaller than "
+            f"row-major (need >= {MIN_TASK_REDUCTION:.0f}x)"
+        )
+    hashes = entry.get("output_hashes", {})
+    for algorithm, expected in EXPECTED_HASHES.items():
+        got = hashes.get(algorithm)
+        if got != expected:
+            failures.append(
+                f"{algorithm}: output hash {got} != {expected} "
+                f"(repairs changed)"
+            )
+    return failures
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        verdict_summary("substrate gate", "MISSING", f"no {path.name}")
+        print(f"substrate gate: missing {path}", file=sys.stderr)
+        return EXIT_MISSING
+    try:
+        trajectory = json.loads(path.read_text())
+        entries = [
+            e for e in trajectory if e.get("workload") == "tax_substrate"
+        ]
+    except (json.JSONDecodeError, AttributeError) as exc:
+        verdict_summary("substrate gate", "MISSING", f"malformed: {exc}")
+        print(f"substrate gate: malformed {path}: {exc}", file=sys.stderr)
+        return EXIT_MISSING
+    if not entries:
+        verdict_summary(
+            "substrate gate", "MISSING", "no tax_substrate entry"
+        )
+        print(
+            "substrate gate: no tax_substrate entry; run "
+            "benchmarks/_trajectory.py --substrate",
+            file=sys.stderr,
+        )
+        return EXIT_MISSING
+
+    latest = entries[-1]
+    failures = check(latest)
+    shipping = latest.get("shipping", {})
+    detail = (
+        f"{latest.get('n_tuples')} tuples ({latest.get('scale')}): "
+        f"{latest.get('marginal_bytes_per_tuple')} B/tuple marginal RSS, "
+        f"task max {shipping.get('task_bytes_max')} B vs "
+        f"{shipping.get('row_major_task_bytes')} B row-major, "
+        f"{len(latest.get('output_hashes', {}))} hash(es) checked"
+    )
+    if failures:
+        verdict_summary(
+            "substrate gate", "FAIL", detail + "\n\n- " + "\n- ".join(failures)
+        )
+        for failure in failures:
+            print(f"substrate gate: {failure}", file=sys.stderr)
+        return EXIT_REGRESSION
+    verdict_summary("substrate gate", "PASS", detail)
+    print(f"substrate gate: pass — {detail}")
+    return EXIT_PASS
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

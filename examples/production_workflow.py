@@ -73,13 +73,13 @@ def main() -> None:
 
     # 6. serve ----------------------------------------------------------
     serving = IncrementalRepairer(HOSP_FDS, thresholds=thresholds).fit(cleaned)
-    arriving = dict(clean.record(0))
+    arriving = dict(clean.as_record(0))
     arriving["ZipCode"] = arriving["ZipCode"][:-1] + "x"  # tomorrow's typo
     fixed, edits = serving.repair_record(arriving)
     print("6. incremental serving: a record arrives with a typo'd zip;")
     for edit in edits:
         print(f"   {edit}")
-    assert fixed["ZipCode"] == clean.record(0)["ZipCode"]
+    assert fixed["ZipCode"] == clean.as_record(0)["ZipCode"]
 
 
 if __name__ == "__main__":

@@ -37,7 +37,14 @@ from repro.core import (
     suggest_thresholds,
 )
 from repro.core.incremental import IncrementalRepairer
-from repro.dataset import Attribute, Relation, Schema, read_csv, write_csv
+from repro.dataset import (
+    Attribute,
+    Relation,
+    Schema,
+    ValueDictionary,
+    read_csv,
+    write_csv,
+)
 from repro.discovery import discover_fds
 from repro.exec import (
     DegradedRepairWarning,
@@ -46,7 +53,7 @@ from repro.exec import (
     RepairExecutor,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FD",
@@ -70,6 +77,7 @@ __all__ = [
     "Attribute",
     "Schema",
     "Relation",
+    "ValueDictionary",
     "read_csv",
     "write_csv",
     "__version__",

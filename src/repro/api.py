@@ -1,0 +1,120 @@
+"""The stable public API of the repro library, in one import.
+
+``repro.api`` is the supported surface for downstream code: everything
+re-exported here follows the deprecation policy (one minor release of
+``DeprecationWarning`` before removal, messages tagged with the release
+that deprecated them — see :mod:`repro._compat`). Internals reached by
+deep imports (``repro.core.single.mis`` etc.) carry no such guarantee.
+
+Typical use::
+
+    from repro.api import FD, Repairer, RepairConfig, read_csv
+
+    relation = read_csv("hospital.csv", numeric=["Score"])
+    config = RepairConfig(algorithm="exact-m", n_jobs=-1)
+    result = Repairer([FD.parse("ZIP -> City")], config=config).repair(relation)
+
+Configuration namespace
+-----------------------
+Every behavioural knob lives on :class:`~repro.exec.config.RepairConfig`
+and maps 1:1 onto a CLI flag:
+
+====================  =======================  =================================
+config field          CLI flag                 meaning
+====================  =======================  =================================
+``algorithm``         ``--algorithm``          repair algorithm (:data:`ALGORITHMS`)
+``thresholds``        ``--tau``                similarity threshold(s)
+``weights``           ``--lhs-weight``         projection-distance weights
+``join_strategy``     ``--join-strategy``      detection strategy
+                      (``--simjoin-strategy``  (pre-1.2 alias, both sides)
+                      / ``simjoin_strategy=``)
+``kernel``            ``--kernel``             Levenshtein kernel
+``n_jobs``            ``--n-jobs``             executor worker processes
+``component_budget``  ``--component-budget``   exact-search degradation budget
+``trace``             ``--trace``              observability recording
+====================  =======================  =================================
+
+``RepairConfig(simjoin_strategy=...)`` and ``--simjoin-strategy`` remain
+accepted aliases of ``join_strategy`` / ``--join-strategy``; the
+``join_strategy`` spelling is the documented one.
+
+Dataset substrate
+-----------------
+:class:`Relation` is columnar and dictionary-encoded (one
+:class:`ValueDictionary` per attribute, rows as interned value ids —
+``docs/dataset.md``). The typed accessors (``column``, ``value_id``,
+``decode``, ``dictionary``) are part of this API; the pre-1.2 row-dict
+accessors (``record``, ``from_dicts``) are deprecated since 1.2.
+"""
+
+from __future__ import annotations
+
+from repro._compat import CURRENT_RELEASE, NEXT_RELEASE, deprecated
+from repro.core import (
+    ALGORITHMS,
+    CFD,
+    FD,
+    CFDRepairer,
+    CellEdit,
+    DistanceModel,
+    Repairer,
+    RepairResult,
+    Weights,
+    parse_fds,
+    suggest_threshold,
+    suggest_thresholds,
+)
+from repro.core.incremental import IncrementalRepairer
+from repro.dataset import (
+    Attribute,
+    Relation,
+    Schema,
+    ValueDictionary,
+    read_csv,
+    write_csv,
+)
+from repro.exec import (
+    DegradedRepairWarning,
+    ExecutionStats,
+    RepairConfig,
+    RepairExecutor,
+    RelationRef,
+)
+from repro.obs import RunReport
+
+__all__ = [
+    # constraints and repair
+    "FD",
+    "CFD",
+    "parse_fds",
+    "Repairer",
+    "CFDRepairer",
+    "IncrementalRepairer",
+    "RepairResult",
+    "CellEdit",
+    "ALGORITHMS",
+    # configuration
+    "RepairConfig",
+    "Weights",
+    "suggest_threshold",
+    "suggest_thresholds",
+    # execution
+    "RepairExecutor",
+    "ExecutionStats",
+    "DegradedRepairWarning",
+    "RelationRef",
+    # dataset substrate
+    "Relation",
+    "Schema",
+    "Attribute",
+    "ValueDictionary",
+    "read_csv",
+    "write_csv",
+    # distances and observability
+    "DistanceModel",
+    "RunReport",
+    # deprecation policy helpers
+    "deprecated",
+    "CURRENT_RELEASE",
+    "NEXT_RELEASE",
+]

@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.constraints import FD
 from repro.core.engine import ALGORITHMS, Repairer
-from repro.core.distances import KERNELS, Weights, set_default_kernel
+from repro.core.distances import KERNELS, Weights
 from repro.dataset.csvio import read_csv, write_csv
 from repro.exec import RepairConfig
 from repro.index.simjoin import STRATEGIES
@@ -86,11 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat COLUMN as numeric (Euclidean distance); repeatable",
     )
     parser.add_argument(
-        "--simjoin-strategy",
+        "--join-strategy",
+        "--simjoin-strategy",  # pre-1.2 spelling, kept as an alias
+        dest="join_strategy",
         choices=list(STRATEGIES),
         default="indexed",
         help=(
-            "FT-violation detection strategy (default: indexed — "
+            "FT-violation detection strategy; sets "
+            "RepairConfig.join_strategy (default: indexed — "
             "sub-quadratic candidate generation; all strategies return "
             "identical violations)"
         ),
@@ -100,8 +103,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(KERNELS),
         default="myers",
         help=(
-            "Levenshtein kernel (default: myers — bit-parallel; all "
-            "kernels return identical repairs)"
+            "Levenshtein kernel; sets RepairConfig.kernel (default: "
+            "myers — bit-parallel; all kernels return identical repairs)"
         ),
     )
     parser.add_argument(
@@ -175,8 +178,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not 0.0 <= args.lhs_weight <= 1.0:
         parser.error("--lhs-weight must be in [0, 1]")
 
-    set_default_kernel(args.kernel)
-
     try:
         relation = read_csv(args.input, numeric=args.numeric)
     except (OSError, ValueError) as exc:
@@ -196,7 +197,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.lhs_weight, round(1.0 - args.lhs_weight, 12)
             ),
             thresholds=args.tau,
-            join_strategy=args.simjoin_strategy,
+            join_strategy=args.join_strategy,
             kernel=args.kernel,
             fallback="greedy",
             n_jobs=args.n_jobs,
@@ -229,7 +230,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {phase}: {secs:.3f}s")
         pruning = getattr(result.stats, "pruning", None)
         if pruning:
-            print(f"detection ({args.simjoin_strategy}):")
+            print(f"detection ({args.join_strategy}):")
             for key, value in pruning.items():
                 print(f"  {key}: {value}")
             reduction = getattr(result.stats, "reduction_ratio", None)

@@ -219,7 +219,7 @@ class CFD:
         return [
             tid
             for tid in relation.tids()
-            if row.lhs_matches(self.fd, relation.record(tid))
+            if row.lhs_matches(self.fd, relation.as_record(tid))
         ]
 
     def rows_or_wildcard(self) -> Tuple[PatternRow, ...]:

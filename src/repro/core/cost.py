@@ -75,7 +75,7 @@ def invalid_repair_tids(
     pools = {fd: original_projections(original, fd) for fd in fds}
     bad: List[int] = []
     for tid in repaired.tids():
-        record = repaired.record(tid)
+        record = repaired.as_record(tid)
         for fd in fds:
             projection = tuple(record[a] for a in fd.attributes)
             if projection not in pools[fd]:

@@ -31,9 +31,9 @@ value (see ``docs/parallelism.md``).
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro._compat import deprecated
 from repro.core.constraints import FD, validate_constraints
 from repro.core.distances import DistanceModel, Weights
 from repro.core.repair import RepairResult, squash_edits
@@ -186,12 +186,11 @@ class Repairer:
                     f"positional arguments beyond fds "
                     f"({len(legacy_args)} given)"
                 )
-            warnings.warn(
+            deprecated(
                 "positional Repairer arguments beyond `fds` are deprecated; "
                 "pass config=RepairConfig(...) or keyword overrides "
                 "(e.g. Repairer(fds, algorithm='exact-m'))",
-                DeprecationWarning,
-                stacklevel=2,
+                since="1.1",
             )
             for name, value in zip(_LEGACY_POSITIONAL, legacy_args):
                 if name in overrides:
@@ -205,10 +204,9 @@ class Repairer:
                     "pass seed=... (rng= is its deprecated alias), not both"
                 )
             if not legacy_args:  # positional use already warned once
-                warnings.warn(
+                deprecated(
                     "Repairer(rng=...) is deprecated; use seed=...",
-                    DeprecationWarning,
-                    stacklevel=2,
+                    since="1.1",
                 )
             overrides["seed"] = overrides.pop("rng")
         base = config if config is not None else RepairConfig()

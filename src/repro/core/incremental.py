@@ -193,7 +193,7 @@ class IncrementalRepairer:
         out = Relation(relation.schema)
         names = relation.schema.names
         for tid in relation.tids():
-            repaired, _ = self.repair_record(relation.record(tid))
+            repaired, _ = self.repair_record(relation.as_record(tid))
             out.append([repaired[a] for a in names])
         return out
 

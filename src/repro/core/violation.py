@@ -21,7 +21,7 @@ baselines and for Theorem 1 checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import FD
@@ -35,10 +35,20 @@ class Pattern:
 
     ``values`` are in ``lhs + rhs`` order; ``tids`` are the tuples that
     carry this projection; ``multiplicity == len(tids)``.
+
+    ``ids`` carries the projection as relation value ids when the
+    pattern came from :func:`group_patterns` over a dictionary-encoded
+    relation (``None`` for hand-built patterns). By the intern
+    invariant, equal id tuples mean equal value tuples, so id-keyed
+    consumers (the blocker's partitioning) group identically to
+    value-keyed ones. Excluded from equality/hashing: two patterns with
+    the same values and tids are the same pattern regardless of the
+    relation's id assignment.
     """
 
     values: Tuple
     tids: Tuple[int, ...]
+    ids: Optional[Tuple[int, ...]] = field(default=None, compare=False)
 
     @property
     def multiplicity(self) -> int:
@@ -60,11 +70,28 @@ def group_patterns(relation: Relation, fd: FD) -> List[Pattern]:
     good early independent sets for pruning.
     """
     bound = fd.bind(relation.schema)
-    by_values: Dict[Tuple, List[int]] = {}
-    for tid in relation.tids():
-        key = relation.project_indexes(tid, bound.indexes)
-        by_values.setdefault(key, []).append(tid)
-    patterns = [Pattern(values, tuple(tids)) for values, tids in by_values.items()]
+    indexes = bound.indexes
+    project_ids = getattr(relation, "project_ids", None)
+    if project_ids is not None:
+        # Group on value-id tuples: int hashing instead of re-hashing the
+        # raw strings of every tuple, and each distinct projection is
+        # decoded exactly once. The intern invariant makes this grouping
+        # identical to the value-keyed one.
+        by_ids: Dict[Tuple[int, ...], List[int]] = {}
+        for tid in relation.tids():
+            by_ids.setdefault(project_ids(tid, indexes), []).append(tid)
+        patterns = [
+            Pattern(relation.project_indexes(tids[0], indexes), tuple(tids), key)
+            for key, tids in by_ids.items()
+        ]
+    else:
+        by_values: Dict[Tuple, List[int]] = {}
+        for tid in relation.tids():
+            key = relation.project_indexes(tid, indexes)
+            by_values.setdefault(key, []).append(tid)
+        patterns = [
+            Pattern(values, tuple(tids)) for values, tids in by_values.items()
+        ]
     patterns.sort(key=lambda p: (-p.multiplicity, p.tids[0]))
     return patterns
 

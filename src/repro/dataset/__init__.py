@@ -6,7 +6,15 @@ which in turn needs :mod:`repro.dataset.relation` — eager imports here
 would cycle.
 """
 
-from repro.dataset.relation import NUMERIC, STRING, Attribute, Cell, Relation, Schema
+from repro.dataset.relation import (
+    NUMERIC,
+    STRING,
+    Attribute,
+    Cell,
+    Relation,
+    Schema,
+    ValueDictionary,
+)
 from repro.dataset.csvio import read_csv, write_csv
 from repro.dataset.profile import (
     ColumnProfile,
@@ -29,6 +37,7 @@ __all__ = [
     "Attribute",
     "Schema",
     "Relation",
+    "ValueDictionary",
     "Cell",
     "STRING",
     "NUMERIC",

@@ -44,12 +44,21 @@ def read_csv(
                 f"{path}: header {header} does not match schema {list(schema.names)}"
             )
         relation = Relation(schema)
-        for line_no, row in enumerate(reader, start=2):
-            if len(row) != len(schema):
-                raise ValueError(
-                    f"{path}:{line_no}: expected {len(schema)} fields, got {len(row)}"
-                )
-            relation.append(row)
+        arity = len(schema)
+
+        def checked_rows():
+            # Validate arity per line (with the line number in the
+            # error) while streaming straight into the encoded columns —
+            # no intermediate list of row dicts is ever built.
+            for line_no, row in enumerate(reader, start=2):
+                if len(row) != arity:
+                    raise ValueError(
+                        f"{path}:{line_no}: expected {arity} fields, "
+                        f"got {len(row)}"
+                    )
+                yield row
+
+        relation.extend(checked_rows())
     return relation
 
 

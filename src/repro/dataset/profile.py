@@ -29,6 +29,7 @@ class ColumnProfile:
     max_length: int
     most_common: object
     most_common_count: int
+    dictionary_size: int = 0  # interned entries in the column's dictionary
 
     @property
     def is_key_like(self) -> bool:
@@ -71,6 +72,7 @@ def profile_column(relation: Relation, name: str) -> ColumnProfile:
         max_length=max_length,
         most_common=most_common,
         most_common_count=most_common_count,
+        dictionary_size=len(relation.dictionary(name)),
     )
 
 
@@ -115,11 +117,12 @@ def render_profile(profiles: List[ColumnProfile]) -> str:
             f"{p.uniqueness:.2f}",
             str(p.empty),
             f"{p.min_length}-{p.max_length}" if p.kind != NUMERIC else "-",
+            str(p.dictionary_size),
             "key" if p.is_key_like else ("const" if p.is_constant else ""),
         ]
         for p in profiles
     ]
     return format_table(
-        ["column", "kind", "distinct", "uniq", "empty", "len", "flags"],
+        ["column", "kind", "distinct", "uniq", "empty", "len", "dict", "flags"],
         rows,
     )

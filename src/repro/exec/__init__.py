@@ -20,11 +20,15 @@ from repro.exec.executor import (
     component_size,
     repair_component,
 )
+from repro.exec.shipping import RelationRef, publish, resolve
 from repro.exec.stats import DegradedRepairWarning, ExecutionStats
 
 __all__ = [
     "RepairConfig",
     "RepairExecutor",
+    "RelationRef",
+    "publish",
+    "resolve",
     "ExecutionStats",
     "DegradedRepairWarning",
     "ComponentTask",

@@ -38,10 +38,23 @@ violation graph (``docs/search.md``). The views are plain Python state
 (big-int masks and float lists), so tasks pickle cleanly; each worker
 rebuilds its graphs' views lazily on first search, keeping shipped task
 payloads small while the per-component kernels stay worker-local.
+
+**Relation shipping.** Tasks do not embed the relation: they carry a
+:class:`~repro.exec.shipping.RelationRef` resolved against a
+process-local registry, and the encoded relation travels to each worker
+exactly once through the pool *initializer*
+(:mod:`repro.exec.shipping`: pickle-5 heads plus out-of-band column
+buffers; a no-op under ``fork``, where workers inherit the registry
+copy-on-write). Per-task request messages are down to component ids,
+FD masks and the config; workers ship results back without the repaired
+relation (the parent re-applies edits when merging). The measured
+traffic lands in ``ExecutionStats`` as ``relation_bytes_shipped``,
+``task_bytes_max`` / ``task_bytes_total`` and ``dict_hit_rate``.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -61,8 +74,10 @@ from repro.core.single.greedy import repair_single_fd_greedy
 from repro.core.single.mis import ExpansionLimitError
 from repro.core.violation import FTViolation, group_patterns
 from repro.dataset.relation import Relation
+from repro.exec import shipping
 from repro.exec.cache import shared_model
 from repro.exec.config import RepairConfig
+from repro.exec.shipping import RelationRef
 from repro.exec.stats import DegradedRepairWarning, ExecutionStats
 from repro.index.registry import AttributeIndexRegistry
 from repro.index.simjoin import SimilarityJoin
@@ -85,14 +100,26 @@ _WARNING_CATEGORIES = {
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ComponentTask:
-    """Repair one FD-graph component of one relation."""
+    """Repair one FD-graph component of one relation.
+
+    The relation itself is not embedded: ``relation_ref`` is a
+    :class:`~repro.exec.shipping.RelationRef` into the process-local
+    registry (filled by :func:`~repro.exec.shipping.publish` in the
+    parent and by the pool initializer in workers), which keeps the
+    per-task message at component ids + FD masks + config.
+    """
 
     index: int  #: merge position within the owning relation
     group: int  #: which relation of a batch this task belongs to
-    relation: Relation
+    relation_ref: RelationRef
     fds: Tuple[FD, ...]
     thresholds: Tuple[Tuple[FD, float], ...]  #: materialized per-FD taus
     config: RepairConfig
+
+    @property
+    def relation(self) -> Relation:
+        """The task's relation, resolved from the registry."""
+        return shipping.resolve(self.relation_ref)
 
 
 @dataclass
@@ -121,10 +148,15 @@ class DetectionTask:
     """Detect FT-violations of one FD of one relation."""
 
     index: int
-    relation: Relation
+    relation_ref: RelationRef
     fd: FD
     tau: float
     config: RepairConfig
+
+    @property
+    def relation(self) -> Relation:
+        """The task's relation, resolved from the registry."""
+        return shipping.resolve(self.relation_ref)
 
 
 @dataclass
@@ -440,6 +472,24 @@ def _detection_outcome(task: DetectionTask) -> DetectionOutcome:
     )
 
 
+def _run_component_task_lean(task: ComponentTask) -> ComponentOutcome:
+    """Worker-side wrapper: drop the repaired relation from the response.
+
+    The parent's merge re-applies the edits onto its own copy
+    (:func:`~repro.core.repair.merge_results` never reads
+    ``part.relation``), so shipping the repaired relation back would be
+    pure pickle traffic. Used only on the pool path; the in-process path
+    keeps the full outcome.
+    """
+    outcome = _run_component_task(task)
+    outcome.result.relation = None  # type: ignore[assignment]
+    return outcome
+
+
+#: runner -> its response-slimming counterpart for the pool path
+_LEAN_RUNNERS = {_run_component_task: _run_component_task_lean}
+
+
 def _reemit(captured: Sequence[Tuple[str, str]]) -> None:
     """Replay warnings captured in a worker in the parent process."""
     for category_name, message in captured:
@@ -487,13 +537,18 @@ class RepairExecutor:
         Results come back in job order, each merged in component order.
         """
         tasks: List[ComponentTask] = []
+        # snapshot the input encodings before any repair interns repaired
+        # values into the (shared) dictionaries — keeps dict_hit_rate a
+        # property of the input, identical for every n_jobs
+        snapshots = [_dict_snapshot(relation) for relation, _, _ in jobs]
         for group, (relation, fds, thresholds) in enumerate(jobs):
+            ref = shipping.publish(relation)
             for index, component in enumerate(fd_components(list(fds))):
                 tasks.append(
                     ComponentTask(
                         index=index,
                         group=group,
-                        relation=relation,
+                        relation_ref=ref,
                         fds=tuple(component),
                         thresholds=tuple(
                             (fd, float(thresholds[fd])) for fd in component
@@ -501,7 +556,9 @@ class RepairExecutor:
                         config=self.config,
                     )
                 )
-        outcomes, elapsed, workers = self._run(tasks, _run_component_task)
+        outcomes, elapsed, workers, traffic = self._run(
+            tasks, _run_component_task
+        )
 
         results: List[RepairResult] = []
         utilization = _utilization(outcomes, elapsed, workers)
@@ -512,7 +569,7 @@ class RepairExecutor:
             results.append(
                 self._merge(
                     relation, list(fds), thresholds, mine, elapsed, workers,
-                    utilization,
+                    utilization, {**traffic, **snapshots[group]},
                 )
             )
         return results
@@ -524,17 +581,21 @@ class RepairExecutor:
         thresholds: Dict[FD, float],
     ) -> DetectionReport:
         """Detection only: one task per FD, merged in FD order."""
+        ref = shipping.publish(relation)
+        snapshot = _dict_snapshot(relation)
         tasks = [
             DetectionTask(
                 index=i,
-                relation=relation,
+                relation_ref=ref,
                 fd=fd,
                 tau=float(thresholds[fd]),
                 config=self.config,
             )
             for i, fd in enumerate(fds)
         ]
-        outcomes, elapsed, workers = self._run(tasks, _run_detection_task)
+        outcomes, elapsed, workers, traffic = self._run(
+            tasks, _run_detection_task
+        )
         outcomes.sort(key=lambda o: o.index)
 
         violations: Dict[str, List[FTViolation]] = {}
@@ -583,6 +644,8 @@ class RepairExecutor:
                 "index_reuses": sum(o.index_reuses for o in outcomes),
             }
         )
+        stats.update(traffic)
+        stats.update(snapshot)
         _register_stats(stats)
         return DetectionReport(
             relation_size=len(relation),
@@ -595,26 +658,59 @@ class RepairExecutor:
         )
 
     # ------------------------------------------------------------------
-    def _run(self, tasks, runner) -> Tuple[List[Any], float, int]:
+    def _run(self, tasks, runner) -> Tuple[List[Any], float, int, Dict[str, Any]]:
         """Run tasks serially or across the pool; stable output order.
 
-        Returns (outcomes, elapsed wall seconds, effective workers).
-        Warnings captured inside tasks are re-emitted here, in task
-        order, so the warning stream is identical for every n_jobs.
-        When tracing, the whole run is one ``execute`` span; worker-local
-        span trees shipped in ``outcome.trace`` are grafted under it in
-        task order (the in-process path nested its spans live instead).
+        Returns (outcomes, elapsed wall seconds, effective workers,
+        traffic counters). Warnings captured inside tasks are re-emitted
+        here, in task order, so the warning stream is identical for
+        every n_jobs. When tracing, the whole run is one ``execute``
+        span; worker-local span trees shipped in ``outcome.trace`` are
+        grafted under it in task order (the in-process path nested its
+        spans live instead).
+
+        On the pool path the relations behind the tasks' refs are packed
+        once (pickle-5, out-of-band column buffers) and delivered through
+        the pool *initializer*; per-task messages carry only the ref.
+        The traffic dict records what actually crossed (or would cross,
+        under ``fork``'s copy-on-write inheritance) the process boundary.
         """
         workers = self.config.effective_jobs(len(tasks))
+        traffic: Dict[str, Any] = {
+            "relations_shipped": 0,
+            "relation_payload_bytes": 0,
+            "relation_bytes_shipped": 0,
+            "task_bytes_max": 0,
+            "task_bytes_total": 0,
+        }
         start = time.perf_counter()
         with span("execute", tasks=len(tasks)) as execute_span:
             if workers <= 1 or len(tasks) <= 1:
                 workers = 1
                 outcomes = [runner(task) for task in tasks]
             else:
+                payload = shipping.pack(
+                    [task.relation_ref for task in tasks]
+                )
+                sizes = [
+                    len(pickle.dumps(task, protocol=5)) for task in tasks
+                ]
+                payload_bytes = shipping.payload_nbytes(payload)
+                traffic.update(
+                    relations_shipped=len(payload),
+                    relation_payload_bytes=payload_bytes,
+                    relation_bytes_shipped=payload_bytes * workers,
+                    task_bytes_max=max(sizes),
+                    task_bytes_total=sum(sizes),
+                )
+                lean = _LEAN_RUNNERS.get(runner, runner)
                 try:
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
-                        futures = [pool.submit(runner, task) for task in tasks]
+                    with ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=shipping.install,
+                        initargs=(payload,),
+                    ) as pool:
+                        futures = [pool.submit(lean, task) for task in tasks]
                         outcomes = [future.result() for future in futures]
                 except (TypeError, AttributeError) as exc:  # unpicklable
                     raise RuntimeError(
@@ -622,7 +718,11 @@ class RepairExecutor:
                         "relations and distance overrides (module-level "
                         f"functions, not lambdas); underlying error: {exc}"
                     ) from exc
-            execute_span.set(n_jobs=workers)
+            execute_span.set(
+                n_jobs=workers,
+                relation_bytes_shipped=traffic["relation_bytes_shipped"],
+                task_bytes_max=traffic["task_bytes_max"],
+            )
             tracer = current_tracer()
             if tracer is not None and tracer.enabled:
                 for outcome in outcomes:
@@ -632,7 +732,7 @@ class RepairExecutor:
         elapsed = time.perf_counter() - start
         for outcome in outcomes:
             _reemit(getattr(outcome, "captured_warnings", ()))
-        return outcomes, elapsed, workers
+        return outcomes, elapsed, workers, traffic
 
     def _merge(
         self,
@@ -643,6 +743,7 @@ class RepairExecutor:
         elapsed: float,
         workers: int,
         utilization: float,
+        traffic: Dict[str, Any],
     ) -> RepairResult:
         merged = merge_results(relation, [o.result for o in outcomes])
         stats = ExecutionStats(merged.stats)
@@ -668,10 +769,29 @@ class RepairExecutor:
         degraded = [o.degraded for o in outcomes if o.degraded is not None]
         stats["degraded"] = bool(degraded)
         stats["degraded_components"] = degraded
+        stats.update(traffic)
         _register_stats(stats)
         merged.stats = stats
         merged.timings["execute"] = elapsed
         return merged
+
+
+def _dict_snapshot(relation: Relation) -> Dict[str, Any]:
+    """The input relation's dictionary-encoding stats, if columnar.
+
+    Taken *before* execution: repairs intern repaired values into the
+    (shared) dictionaries, so a post-run read would depend on where the
+    repair ran. The snapshot is a property of the input encoding alone
+    and therefore identical for every n_jobs.
+    """
+    dict_stats = getattr(relation, "dict_stats", None)
+    if dict_stats is None:
+        return {}
+    snapshot = dict_stats()
+    return {
+        "dictionary_entries": snapshot["dictionary_entries"],
+        "dict_hit_rate": snapshot["dict_hit_rate"],
+    }
 
 
 def _register_stats(stats: ExecutionStats) -> None:

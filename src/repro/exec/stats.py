@@ -84,6 +84,33 @@ class ExecutionStats(dict):
         probes = self.cache_hits + self.cache_misses
         return self.cache_hits / probes if probes else 0.0
 
+    # -- relation shipping ---------------------------------------------
+    @property
+    def relation_bytes_shipped(self) -> int:
+        """Encoded relation bytes that crossed the process boundary.
+
+        ``pack()`` payload size times worker count for a pooled run
+        (under the ``fork`` start method this is the copy-on-write upper
+        bound; the initializer skips the decode entirely), 0 for serial
+        runs where the relation never leaves the process.
+        """
+        return int(self.get("relation_bytes_shipped", 0))
+
+    @property
+    def task_bytes_max(self) -> int:
+        """Largest per-task request message (pickled bytes) of the run."""
+        return int(self.get("task_bytes_max", 0))
+
+    @property
+    def dict_hit_rate(self) -> float:
+        """Interning hit rate of the input relation's value dictionaries.
+
+        Hits over probes across all attribute dictionaries: high values
+        mean heavy value repetition, i.e. the columnar encoding is
+        paying for itself. 0.0 when unrecorded (e.g. empty relation).
+        """
+        return float(self.get("dict_hit_rate", 0.0))
+
     # -- degradation ----------------------------------------------------
     @property
     def degraded(self) -> bool:
@@ -151,6 +178,11 @@ class ExecutionStats(dict):
             bits.append(f"cache hit rate {self.cache_hit_rate:.0%}")
         if self.get("possible_pairs"):
             bits.append(f"pair reduction {self.reduction_ratio:.0%}")
+        if self.relation_bytes_shipped:
+            bits.append(
+                f"shipped {self.relation_bytes_shipped / 1024:.0f}KiB "
+                f"(max task {self.task_bytes_max}B)"
+            )
         if self.degraded:
             bits.append(f"degraded x{len(self.degraded_components)}")
         return ", ".join(bits)

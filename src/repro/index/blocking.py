@@ -140,9 +140,37 @@ def _group_by_value(
     so grouping matches the distance semantics exactly. Returns ``None``
     when a value refuses the numeric coercion (the attribute is then
     unusable for blocking).
+
+    Patterns minted by :func:`~repro.core.violation.group_patterns` over
+    an encoded relation carry their projections as value ids
+    (``Pattern.ids``); those partition on the ids directly — one int
+    lookup per pattern, one coercion per *distinct* value — which the
+    intern invariant guarantees is the same grouping. Hand-built
+    patterns fall back to value-keyed grouping.
     """
     values: List[Any] = []
     groups: List[List[int]] = []
+    if patterns and patterns[0].ids is not None:
+        by_vid: Dict[int, int] = {}
+        for index, pattern in enumerate(patterns):
+            assert pattern.ids is not None
+            vid = pattern.ids[position]
+            slot = by_vid.get(vid)
+            if slot is None:
+                raw = pattern.values[position]
+                if numeric:
+                    try:
+                        value = float(raw)
+                    except (TypeError, ValueError):
+                        return None
+                else:
+                    value = str(raw)
+                by_vid[vid] = len(values)
+                values.append(value)
+                groups.append([index])
+            else:
+                groups[slot].append(index)
+        return values, groups
     ids: Dict[Any, int] = {}
     for index, pattern in enumerate(patterns):
         raw = pattern.values[position]

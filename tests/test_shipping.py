@@ -1,0 +1,178 @@
+"""Relation shipping: encode/decode, the registry, and executor traffic."""
+
+import pickle
+
+import pytest
+
+from repro.core.constraints import FD
+from repro.dataset.citizens import (
+    CITIZENS_FDS,
+    CITIZENS_THRESHOLDS,
+    citizens_dirty,
+)
+from repro.dataset.relation import Relation, Schema
+from repro.exec import RepairConfig, RepairExecutor
+from repro.exec import shipping
+
+
+@pytest.fixture()
+def relation():
+    return Relation(
+        Schema.of("A", "B", "N", numeric=["N"]),
+        [("x", "red", 1.0), ("y", "blue", 2.0), ("x", "red", 1.0)],
+    )
+
+
+class TestEncodeDecode:
+    def test_roundtrip_is_value_equal(self, relation):
+        head, frames = shipping.encode_relation(relation)
+        rebuilt = shipping.decode_relation(head, frames)
+        assert rebuilt == relation
+        assert rebuilt.schema == relation.schema
+        assert list(rebuilt) == list(relation)
+
+    def test_one_frame_per_column(self, relation):
+        _, frames = shipping.encode_relation(relation)
+        assert len(frames) == len(relation.schema)
+        # 4 bytes per cell, straight out of the array('I') storage
+        assert all(len(frame) == 4 * len(relation) for frame in frames)
+
+    def test_decoded_relation_is_independent(self, relation):
+        head, frames = shipping.encode_relation(relation)
+        rebuilt = shipping.decode_relation(head, frames)
+        rebuilt.set_value(0, "A", "changed")
+        assert relation.value(0, "A") == "x"
+
+    def test_encoding_beats_plain_pickle_on_repetitive_data(self):
+        rows = [("v%d" % (i % 50), "w%d" % (i % 20), float(i % 10))
+                for i in range(5000)]
+        big = Relation(Schema.of("A", "B", "N", numeric=["N"]), rows)
+        head, frames = shipping.encode_relation(big)
+        encoded = len(head) + sum(len(f) for f in frames)
+        # the pickled rows-as-tuples baseline the old substrate paid
+        row_major = len(pickle.dumps(list(big), protocol=5))
+        assert encoded < row_major
+
+
+class TestRegistry:
+    def test_publish_resolve_roundtrip(self, relation):
+        ref = shipping.resolve(shipping.publish(relation))
+        assert ref is relation
+
+    def test_publish_is_idempotent_until_mutation(self, relation):
+        first = shipping.publish(relation)
+        assert shipping.publish(relation) == first
+        relation.set_value(0, "A", "mutated")
+        assert shipping.publish(relation) != first
+
+    def test_resolve_unknown_token_raises(self):
+        with pytest.raises(KeyError, match="publish"):
+            shipping.resolve(shipping.RelationRef("r0.999999999"))
+
+    def test_pack_encodes_each_relation_once(self, relation):
+        ref = shipping.publish(relation)
+        payload = shipping.pack([ref, ref, ref])
+        assert len(payload) == 1
+        assert payload[0].token == ref.token
+        assert shipping.payload_nbytes(payload) == payload[0].nbytes
+
+    def test_install_skips_inherited_tokens(self, relation):
+        # simulates the fork fast path: the parent's published entry is
+        # already resolvable, so install decodes nothing
+        payload = shipping.pack([shipping.publish(relation)])
+        shipping.install(payload)
+        assert shipping.installed_count() == 0
+
+    def test_install_decodes_unknown_tokens(self, relation):
+        payload = shipping.pack([shipping.publish(relation)])
+        foreign = [
+            shipping.ShippedRelation("spawned.0", s.head, s.frames)
+            for s in payload
+        ]
+        try:
+            shipping.install(foreign)
+            assert shipping.installed_count() == 1
+            rebuilt = shipping.resolve(shipping.RelationRef("spawned.0"))
+            assert rebuilt == relation
+        finally:
+            shipping.clear_installed()
+
+
+class TestExecutorTraffic:
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for jobs in (1, 2):
+            executor = RepairExecutor(
+                RepairConfig(algorithm="greedy-m", n_jobs=jobs)
+            )
+            out[jobs] = executor.repair(
+                citizens_dirty(), CITIZENS_FDS, CITIZENS_THRESHOLDS
+            )
+        return out
+
+    def test_parallel_output_matches_serial(self, results):
+        assert results[1].relation == results[2].relation
+        assert results[1].edits == results[2].edits
+        assert results[1].cost == pytest.approx(results[2].cost)
+
+    def test_serial_ships_nothing(self, results):
+        stats = results[1].stats
+        assert stats.relation_bytes_shipped == 0
+        assert stats["relations_shipped"] == 0
+
+    def test_parallel_records_traffic(self, results):
+        stats = results[2].stats
+        assert stats["relations_shipped"] == 1
+        assert stats["relation_payload_bytes"] > 0
+        assert (
+            stats.relation_bytes_shipped
+            == stats["relation_payload_bytes"] * stats.n_jobs
+        )
+        assert 0 < stats.task_bytes_max <= stats["task_bytes_total"]
+
+    def test_dict_stats_are_n_jobs_invariant(self, results):
+        assert (
+            results[1].stats.dict_hit_rate == results[2].stats.dict_hit_rate
+        )
+        assert (
+            results[1].stats["dictionary_entries"]
+            == results[2].stats["dictionary_entries"]
+        )
+
+    def test_tasks_are_small(self, results):
+        # the whole point: per-task messages carry a ref, not the data
+        relation_size = len(pickle.dumps(citizens_dirty(), protocol=5))
+        assert results[2].stats.task_bytes_max < relation_size
+
+    def test_worker_responses_skip_the_relation(self):
+        fd = FD.parse("K -> V")
+        relation = Relation(
+            Schema.of("K", "V"),
+            [("a", "1"), ("a", "2"), ("b", "3"), ("b", "4")],
+        )
+        executor = RepairExecutor(RepairConfig(algorithm="greedy-s", n_jobs=2))
+        result = executor.repair(relation, [fd], {fd: 0.3})
+        # the merged result still has the (parent-side) repaired relation
+        assert result.relation is not None
+        assert len(result.relation) == len(relation)
+
+
+class TestDetectTraffic:
+    def test_detect_records_traffic_keys(self):
+        executor = RepairExecutor(RepairConfig(algorithm="greedy-m", n_jobs=2))
+        report = executor.detect(
+            citizens_dirty(), CITIZENS_FDS, CITIZENS_THRESHOLDS
+        )
+        stats = report.stats
+        assert stats["relations_shipped"] == 1
+        assert stats.relation_bytes_shipped > 0
+        assert stats.task_bytes_max > 0
+        assert "dict_hit_rate" in stats
+
+    def test_detect_serial_zero_traffic(self):
+        executor = RepairExecutor(RepairConfig(algorithm="greedy-m", n_jobs=1))
+        report = executor.detect(
+            citizens_dirty(), CITIZENS_FDS, CITIZENS_THRESHOLDS
+        )
+        assert report.stats.relation_bytes_shipped == 0

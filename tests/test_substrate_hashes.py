@@ -1,0 +1,49 @@
+"""Cross-substrate repair hashes on the standard HOSP smoke slice.
+
+The committed ``BENCH_repair.json`` trajectory pins the repair output
+hash of every algorithm on the 800-tuple noisy HOSP workload, recorded
+on the pre-1.2 row-major substrate. Reproducing those exact hashes on
+the columnar substrate is the end-to-end proof that the encoding changed
+*nothing* about what gets repaired — every edit, in order, at identical
+cost.
+
+Slowish (two full 800-tuple repairs), so marked ``slow`` like the other
+integration workloads.
+"""
+
+import pytest
+
+from repro.core.distances import Weights
+from repro.core.engine import Repairer
+from repro.generator.hosp import HOSP_FDS, generate_hosp, hosp_thresholds
+from repro.generator.noise import NoiseConfig, inject_noise
+from repro.obs import repair_output_hash
+
+#: (algorithm, expected hash) from the committed smoke-scale trajectory
+EXPECTED = {
+    "greedy-m": ("ed47302ef255617b", 442),
+    "greedy-s": ("3a25e7b8fe51b497", 452),
+}
+
+
+@pytest.fixture(scope="module")
+def hosp_slice():
+    clean = generate_hosp(800, rng=7)
+    relation, _errors = inject_noise(clean, HOSP_FDS, NoiseConfig(), rng=11)
+    return relation
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", sorted(EXPECTED))
+def test_smoke_hash_matches_row_major_baseline(hosp_slice, algorithm):
+    expected_hash, expected_edits = EXPECTED[algorithm]
+    weights = Weights(0.5, 0.5)
+    repairer = Repairer(
+        HOSP_FDS,
+        algorithm=algorithm,
+        weights=weights,
+        thresholds=hosp_thresholds(weights=weights),
+    )
+    result = repairer.repair(hosp_slice)
+    assert len(result.edits) == expected_edits
+    assert repair_output_hash(result.edits, result.cost) == expected_hash

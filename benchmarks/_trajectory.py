@@ -32,10 +32,23 @@ bytes the pre-1.2 substrate would have pickled per task), and the
 800-tuple HOSP output hash of every algorithm (always the smoke slice,
 so the gate can pin exact values at every scale).
 
+``--sched`` appends a ``skew_sched`` entry: the adaptive skew-aware
+scheduler (``docs/parallelism.md``) measured on the skewed generator's
+one-giant-component workload. It repairs the same relation three ways —
+serial, statically scheduled at ``n_jobs=4``, and adaptively split into
+subtree tasks — and records the measured per-unit CPU seconds plus the
+*modeled* list-schedule speedups ``benchmarks/check_sched_gate.py``
+gates (modeled, because CPU-time replay is meaningful on any runner,
+including single-core containers where wall clocks cannot show a
+speedup). A five-algorithm hash sweep across serial and split settings
+pins the determinism contract: splitting may only re-order work, never
+change the repair.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/_trajectory.py \
-        [--algorithm greedy-m] [--substrate] [path/to/BENCH_repair.json]
+        [--algorithm greedy-m] [--substrate] [--sched] \
+        [path/to/BENCH_repair.json]
 """
 
 from __future__ import annotations
@@ -306,9 +319,201 @@ def run_substrate_entry() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# --sched: adaptive skew-aware scheduling (subtree splitting)
+# ----------------------------------------------------------------------
+#: the skewed workload: one giant path component of SCHED_CHAIN patterns.
+#: exact-s is the headline algorithm because its whole-component search
+#: is the splittable part wholesale — the MODE_BEST merge is a winner
+#: comparison, so there is no serial composition tail diluting the
+#: schedule (exact-m keeps its candidate evaluation in the parent and
+#: tops out near 2.5x on this shape).
+SCHED_CHAIN = 40
+SCHED_N = 600
+SCHED_DOMINANCE = 0.9
+SCHED_ALGORITHM = "exact-s"
+SCHED_JOBS = 4
+SCHED_SPLIT_THRESHOLD = 16
+
+#: the smaller slice every algorithm's split determinism is hashed on
+SCHED_HASH_CHAIN = 14
+SCHED_HASH_N = 400
+#: (n_jobs, split_threshold) settings of the hash sweep
+SCHED_HASH_SETTINGS = ((1, None), (2, 8), (4, 8))
+
+
+def _lpt_makespan(durations, workers: int) -> float:
+    """Longest-processing-time list-schedule makespan of *durations*.
+
+    The model the sched gate compares schedules under: sort the measured
+    per-unit CPU times descending, always hand the next unit to the
+    least-loaded of *workers* — the same greedy choice an idle pool
+    worker makes when it picks up the largest pending task.
+    """
+    loads = [0.0] * max(1, workers)
+    for duration in sorted(durations, reverse=True):
+        loads[loads.index(min(loads))] += duration
+    return max(loads)
+
+
+def _sched_workload(n: int, chain: int):
+    from repro.generator.skew import generate_skew, skew_thresholds
+
+    relation = generate_skew(
+        n, dominance=SCHED_DOMINANCE, chain=chain, small_chains=2
+    )
+    thresholds = skew_thresholds(dominance=SCHED_DOMINANCE, chain=chain)
+    return relation, thresholds
+
+
+def _sched_run(n_jobs: int, split_threshold):
+    """One repair of the skewed workload: (result, wall, output hash)."""
+    from repro.generator.skew import SKEW_FDS
+    from repro.obs import repair_output_hash
+
+    relation, thresholds = _sched_workload(SCHED_N, SCHED_CHAIN)
+    repairer = Repairer(
+        SKEW_FDS,
+        algorithm=SCHED_ALGORITHM,
+        thresholds=thresholds,
+        max_nodes=None,  # the giant chain is the point; never degrade
+        n_jobs=n_jobs,
+        split_threshold=split_threshold,
+    )
+    start = time.perf_counter()
+    result = repairer.repair(relation)
+    wall = time.perf_counter() - start
+    return result, wall, repair_output_hash(result.edits, result.cost)
+
+
+def _sched_hash_sweep() -> dict:
+    """Every algorithm's output hash across serial and split settings.
+
+    The determinism contract under test: for each algorithm, the three
+    hashes (serial, 2 workers + splitting, 4 workers + splitting) must
+    be one value — bound exchange and subtree scheduling may only prune,
+    never change the selected repair.
+    """
+    from repro.generator.skew import SKEW_FDS
+    from repro.obs import repair_output_hash
+
+    relation, thresholds = _sched_workload(SCHED_HASH_N, SCHED_HASH_CHAIN)
+    hashes = {}
+    for algorithm in HASH_ALGORITHMS:
+        per_setting = []
+        for n_jobs, split in SCHED_HASH_SETTINGS:
+            repairer = Repairer(
+                SKEW_FDS,
+                algorithm=algorithm,
+                thresholds=thresholds,
+                max_nodes=None,
+                n_jobs=n_jobs,
+                split_threshold=split,
+                max_subtasks=4,
+            )
+            result = repairer.repair(relation)
+            per_setting.append(
+                repair_output_hash(result.edits, result.cost)
+            )
+        hashes[algorithm] = per_setting
+    return hashes
+
+
+def run_sched_entry() -> dict:
+    """The ``skew_sched`` trajectory entry (see module docstring).
+
+    Speedups are *modeled*: the measured per-unit CPU seconds (process
+    time — whole component tasks for the static schedule; coordinated
+    parents, subtree tasks, and unsplit tasks for the adaptive one)
+    list-scheduled onto ``SCHED_JOBS`` workers. CPU time is immune to
+    the machine's actual core count and load, so the entry is
+    comparable across the 1-core containers and shared CI runners this
+    bench runs on; wall clocks are recorded for context only, which is
+    also why this entry carries no top-level ``wall_seconds`` for the
+    perf gate to trip over.
+    """
+    import os
+
+    serial_result, serial_wall, serial_hash = _sched_run(1, None)
+    static_result, static_wall, static_hash = _sched_run(SCHED_JOBS, None)
+    adaptive_result, adaptive_wall, adaptive_hash = _sched_run(
+        SCHED_JOBS, SCHED_SPLIT_THRESHOLD
+    )
+
+    serial_units = [
+        comp["cpu_seconds"] for comp in serial_result.stats.components
+    ]
+    static_units = [
+        comp["cpu_seconds"] for comp in static_result.stats.components
+    ]
+    adaptive_stats = adaptive_result.stats
+    adaptive_units = [
+        comp["cpu_seconds"] for comp in adaptive_stats.components
+    ] + [float(s) for s in adaptive_stats.get("subtree_cpu_seconds", ())]
+
+    serial_total = sum(serial_units)
+    modeled_static = serial_total / _lpt_makespan(static_units, SCHED_JOBS)
+    modeled_adaptive = serial_total / _lpt_makespan(
+        adaptive_units, SCHED_JOBS
+    )
+
+    sweep = _sched_hash_sweep()
+    return {
+        "workload": "skew_sched",
+        "scale": SCALE,
+        "cpu_count": os.cpu_count() or 1,
+        "calibration_seconds": round(calibration_seconds(), 4),
+        "config": {
+            "algorithm": SCHED_ALGORITHM,
+            "n_tuples": SCHED_N,
+            "chain": SCHED_CHAIN,
+            "dominance": SCHED_DOMINANCE,
+            "n_jobs": SCHED_JOBS,
+            "split_threshold": SCHED_SPLIT_THRESHOLD,
+        },
+        "serial": {
+            "wall": round(serial_wall, 4),
+            "unit_cpu_seconds": [round(u, 4) for u in serial_units],
+            "total_cpu_seconds": round(serial_total, 4),
+            "output_hash": serial_hash,
+        },
+        "static": {
+            "wall": round(static_wall, 4),
+            "unit_cpu_seconds": [round(u, 4) for u in static_units],
+            "output_hash": static_hash,
+        },
+        "adaptive": {
+            "wall": round(adaptive_wall, 4),
+            "unit_cpu_seconds": [round(u, 4) for u in adaptive_units],
+            "output_hash": adaptive_hash,
+            "tasks_split": adaptive_stats.tasks_split,
+            "subtree_tasks": adaptive_stats.subtree_tasks,
+            "steals": adaptive_stats.steals,
+            "incumbent_publishes": adaptive_stats.incumbent_publishes,
+            "bound_exchange_hits": adaptive_stats.bound_exchange_hits,
+            "busy_skew_ratio": round(adaptive_stats.busy_skew_ratio, 3),
+        },
+        "modeled_speedup_static": round(modeled_static, 3),
+        "modeled_speedup_adaptive": round(modeled_adaptive, 3),
+        "hash_slice": {
+            "n_tuples": SCHED_HASH_N,
+            "chain": SCHED_HASH_CHAIN,
+            "settings": [
+                f"n_jobs={jobs}" + (f" split={split}" if split else "")
+                for jobs, split in SCHED_HASH_SETTINGS
+            ],
+            "output_hashes": sweep,
+            "hashes_consistent": all(
+                len(set(values)) == 1 for values in sweep.values()
+            ),
+        },
+    }
+
+
 def main(argv: list) -> int:
     algorithm = ALGORITHM
     substrate = False
+    sched = False
     positional = []
     rest = list(argv[1:])
     while rest:
@@ -320,12 +525,35 @@ def main(argv: list) -> int:
             algorithm = rest.pop(0)
         elif arg == "--substrate":
             substrate = True
+        elif arg == "--sched":
+            sched = True
         elif arg == "--_substrate-point":
             print(json.dumps(substrate_point(int(rest.pop(0)))))
             return 0
         else:
             positional.append(arg)
     path = Path(positional[0]) if positional else DEFAULT_PATH
+    if sched:
+        entry = run_sched_entry()
+        trajectory = []
+        if path.exists():
+            trajectory = json.loads(path.read_text())
+        trajectory.append(entry)
+        path.write_text(json.dumps(trajectory, indent=2) + "\n")
+        adaptive = entry["adaptive"]
+        print(
+            f"sched: {entry['config']['algorithm']} on a "
+            f"{entry['config']['chain']}-pattern giant component — modeled "
+            f"speedup {entry['modeled_speedup_adaptive']}x adaptive vs "
+            f"{entry['modeled_speedup_static']}x static at "
+            f"n_jobs={entry['config']['n_jobs']}; "
+            f"{adaptive['subtree_tasks']} subtree task(s), "
+            f"{adaptive['steals']} steal(s), hashes "
+            f"{'consistent' if entry['hash_slice']['hashes_consistent'] else 'INCONSISTENT'}; "
+            f"{len(trajectory)} entr{'y' if len(trajectory) == 1 else 'ies'} "
+            f"in {path}"
+        )
+        return 0
     if substrate:
         entry = run_substrate_entry()
         trajectory = []

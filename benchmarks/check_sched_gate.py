@@ -1,0 +1,182 @@
+"""CI gate over the adaptive skew scheduler in ``BENCH_repair.json``.
+
+Reads the latest ``skew_sched`` entry appended by
+``benchmarks/_trajectory.py --sched`` and enforces three properties of
+the subtree-splitting scheduler (``docs/parallelism.md``):
+
+1. **Adaptive speedup** — the modeled ``n_jobs=4`` makespan speedup of
+   the adaptive schedule (dominant component split into subtree tasks,
+   shared incumbent bounds) must reach at least 3x over serial.
+2. **Static baseline** — the same workload under static component-level
+   scheduling must model *below* 1.5x. This is not a typo: the entry
+   has to prove the giant component really dominates, so the adaptive
+   win is attributable to splitting rather than to the workload being
+   embarrassingly parallel to begin with.
+3. **Determinism** — the serial, static, and adaptive repairs of the
+   main workload must share one output hash, and every algorithm of the
+   entry's hash-slice sweep must hash identically across its serial and
+   split settings. A scheduling win that changes any repair is a
+   correctness regression and fails regardless of the speedups.
+
+Speedups are recomputed here from the entry's measured per-unit CPU
+seconds (never trusted from the stored fields): the units are
+list-scheduled longest-first onto the entry's worker count, mirroring
+an idle pool worker grabbing the largest pending task. CPU-time replay
+is machine-load-independent, so the gate is meaningful on single-core
+containers and noisy shared runners where wall clocks are not. The
+adaptive speedup may legitimately exceed the worker count — the bound
+exchange lets concurrent subtrees prune with incumbents a serial search
+would only discover later, shrinking total work below serial.
+
+Exit status follows the shared gate conventions (``benchmarks/_gate.py``):
+0 pass, 1 regression, 2 missing/malformed (run ``benchmarks/_trajectory.py
+--sched`` first).
+
+Usage::
+
+    python benchmarks/check_sched_gate.py [path/to/BENCH_repair.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    ROOT,
+    verdict_summary,
+)
+
+DEFAULT_PATH = ROOT / "BENCH_repair.json"
+
+#: minimum modeled adaptive speedup over serial at the entry's n_jobs
+ADAPTIVE_REQUIRED = 3.0
+#: the static schedule must stay *below* this (the skew must be real)
+STATIC_CEILING = 1.5
+
+
+def lpt_makespan(durations: List[float], workers: int) -> float:
+    """Longest-processing-time list-schedule makespan of *durations*."""
+    loads = [0.0] * max(1, workers)
+    for duration in sorted(durations, reverse=True):
+        loads[loads.index(min(loads))] += duration
+    return max(loads)
+
+
+def modeled_speedup(entry: dict, mode: str) -> float:
+    """Serial CPU total over the modeled makespan of *mode*'s units."""
+    serial_total = sum(
+        float(u) for u in entry["serial"]["unit_cpu_seconds"]
+    )
+    units = [float(u) for u in entry[mode]["unit_cpu_seconds"]]
+    makespan = lpt_makespan(units, int(entry["config"]["n_jobs"]))
+    if makespan <= 0:
+        raise ValueError(f"{mode} entry has no measured CPU units")
+    return serial_total / makespan
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        print(
+            f"gate: {path} not found; run benchmarks/_trajectory.py "
+            f"--sched first",
+            file=sys.stderr,
+        )
+        verdict_summary("sched gate", "MISSING", f"`{path.name}` not found")
+        return EXIT_MISSING
+    try:
+        trajectory = json.loads(path.read_text())
+        entries = [
+            e for e in trajectory if e.get("workload") == "skew_sched"
+        ]
+        if not entries:
+            raise ValueError(
+                "no skew_sched entry; run benchmarks/_trajectory.py --sched"
+            )
+        entry = entries[-1]
+        static = modeled_speedup(entry, "static")
+        adaptive = modeled_speedup(entry, "adaptive")
+        main_hashes = {
+            mode: entry[mode]["output_hash"]
+            for mode in ("serial", "static", "adaptive")
+        }
+        sweep = entry["hash_slice"]["output_hashes"]
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"gate: cannot read skew_sched entry: {exc}", file=sys.stderr)
+        verdict_summary(
+            "sched gate", "MISSING", f"malformed `{path.name}`: {exc}"
+        )
+        return EXIT_MISSING
+
+    failures: List[str] = []
+    if adaptive < ADAPTIVE_REQUIRED:
+        failures.append(
+            f"adaptive schedule models only {adaptive:.2f}x "
+            f"(required >= {ADAPTIVE_REQUIRED:.1f}x)"
+        )
+    if static >= STATIC_CEILING:
+        failures.append(
+            f"static schedule models {static:.2f}x "
+            f"(must stay < {STATIC_CEILING:.1f}x — the workload no longer "
+            f"isolates the giant-component skew)"
+        )
+    if len(set(main_hashes.values())) != 1:
+        failures.append(
+            f"main-workload repairs diverged across schedules: {main_hashes}"
+        )
+    for algorithm in sorted(sweep):
+        if len(set(sweep[algorithm])) != 1:
+            failures.append(
+                f"{algorithm}: output hash differs across split settings "
+                f"{sweep[algorithm]} (splitting changed the repair)"
+            )
+
+    config = entry.get("config", {})
+    stats = entry.get("adaptive", {})
+    detail = "\n".join(
+        [
+            "| check | value | required |",
+            "|---|---:|---|",
+            f"| adaptive modeled speedup | {adaptive:.2f}x | "
+            f">= {ADAPTIVE_REQUIRED:.1f}x |",
+            f"| static modeled speedup | {static:.2f}x | "
+            f"< {STATIC_CEILING:.1f}x |",
+            f"| schedule hash agreement | "
+            f"{'ok' if len(set(main_hashes.values())) == 1 else 'DRIFT'} "
+            f"| equal |",
+            f"| hash sweep ({len(sweep)} algorithms) | "
+            f"{'ok' if all(len(set(v)) == 1 for v in sweep.values()) else 'DRIFT'}"
+            f" | equal |",
+        ]
+    )
+    print(
+        f"gate: {config.get('algorithm')} giant chain "
+        f"{config.get('chain')} at n_jobs={config.get('n_jobs')} — "
+        f"adaptive {adaptive:.2f}x vs static {static:.2f}x modeled "
+        f"({stats.get('subtree_tasks', 0)} subtree task(s), "
+        f"{stats.get('steals', 0)} steal(s), "
+        f"{stats.get('bound_exchange_hits', 0)} bound hit(s))"
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"gate: FAIL — {failure}", file=sys.stderr)
+        verdict_summary(
+            "sched gate", "FAIL", "\n".join(failures) + "\n\n" + detail
+        )
+        return EXIT_REGRESSION
+    print("gate: PASS")
+    verdict_summary("sched gate", "PASS", detail)
+    return EXIT_PASS
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,7 +18,11 @@ known feasible repair.
 
 The production engine (:func:`enumerate_maximal_independent_sets`) runs
 the level-synchronous schedule as an explicit work-list branch-and-bound
-over the :class:`~repro.core.graph.ComponentMasks` bitset view:
+over the :class:`~repro.core.graph.ComponentMasks` bitset view; the
+loop itself lives in the resumable
+:class:`~repro.core.single.frontier.SearchKernel` so giant components
+can be cut at a level boundary into independently explorable subtree
+tasks (:mod:`repro.core.single.subtree`, ``docs/parallelism.md``):
 
 * each frontier node is one prefix-mask; FT-conflict, ``FTC``, and
   prefix-maximality checks are ``&``/``|`` word operations against a
@@ -35,97 +39,56 @@ over the :class:`~repro.core.graph.ComponentMasks` bitset view:
   expansion paths reaching an already-frontier mask are dominated by
   the first and dropped, which is also what bounds the tree width.
 
-Every decision the engine takes — emission order, duplicate merging,
-pruning, the node count that trips :class:`ExpansionLimitError` — is
-bit-for-bit identical to the set-based reference implementation, which
-is kept as :func:`enumerate_maximal_independent_sets_setbased` and
-cross-checked by the Hypothesis differential suite
-(``tests/test_search_bitset.py``), the same oracle discipline the
-``two_row``/``banded`` distance kernels follow.
+Every decision the serial engine takes — emission order, duplicate
+merging, pruning, the node count that trips
+:class:`ExpansionLimitError` — is bit-for-bit identical to the set-based
+reference implementation, which is kept as
+:func:`enumerate_maximal_independent_sets_setbased` and cross-checked by
+the Hypothesis differential suite (``tests/test_search_bitset.py``), the
+same oracle discipline the ``two_row``/``banded`` distance kernels
+follow. When a subtree dispatcher is installed, the split exploration
+reproduces the same *output* (the enumerate-mode merge is exact; the
+best-mode winner is bound-independent) while counters reflect the extra
+duplicated exploration across chunks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from repro.core.graph import ViolationGraph, mask_bits
+from repro.core.single.frontier import (
+    ExpansionLimitError,
+    ExpansionStats,
+    SearchKernel,
+    better_candidate,
+    min_outgoing_costs,
+    select_best_mask,
+)
+from repro.core.single.subtree import (
+    MODE_BEST,
+    MODE_ENUMERATE,
+    SplitRequest,
+    SubtreeDispatcher,
+    current_dispatcher,
+)
 from repro.obs import span
 
-try:  # pragma: no cover - exercised indirectly; numpy ships with the toolchain
-    import numpy as _np
-except ImportError:  # pragma: no cover
-    _np = None  # type: ignore[assignment]
+__all__ = [
+    "ExpansionLimitError",
+    "ExpansionStats",
+    "enumerate_maximal_independent_sets",
+    "enumerate_maximal_independent_sets_setbased",
+    "best_maximal_independent_set",
+    "brute_force_maximal_independent_sets",
+]
 
 
-class ExpansionLimitError(RuntimeError):
-    """Raised when enumeration exceeds the caller's node budget.
-
-    Carries the configured *limit* and the *nodes_generated* count that
-    tripped it (plus the level reached), so budget tuning can start from
-    the numbers in the message instead of guesswork.
-    """
-
-    def __init__(self, limit: int, nodes_generated: int, level: int) -> None:
-        super().__init__(
-            f"expansion exceeded the {limit}-node budget "
-            f"({nodes_generated} nodes generated at level {level})"
-        )
-        self.limit = limit
-        self.nodes_generated = nodes_generated
-        self.level = level
-
-
-@dataclass
-class ExpansionStats:
-    """Counters from one enumeration run."""
-
-    levels: int = 0
-    nodes_generated: int = 0
-    nodes_pruned: int = 0
-    duplicates_removed: int = 0
-    non_maximal_discarded: int = 0
-    sets_enumerated: int = 0
-    #: frontier nodes processed by the work-list loop
-    search_nodes_expanded: int = 0
-    #: big-int mask operations on the hot path (conflict / FTC / coverage)
-    search_bitset_ops: int = 0
-    #: prune checks served by a memoized (carried) bound
-    search_bound_hits: int = 0
-    #: expansion paths merged into an already-frontier prefix-mask
-    search_dominance_prunes: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "levels": self.levels,
-            "nodes_generated": self.nodes_generated,
-            "nodes_pruned": self.nodes_pruned,
-            "duplicates_removed": self.duplicates_removed,
-            "non_maximal_discarded": self.non_maximal_discarded,
-            "sets_enumerated": self.sets_enumerated,
-            "search_nodes_expanded": self.search_nodes_expanded,
-            "search_bitset_ops": self.search_bitset_ops,
-            "search_bound_hits": self.search_bound_hits,
-            "search_dominance_prunes": self.search_dominance_prunes,
-        }
-
-
-def _min_outgoing_cost(graph: ViolationGraph, vertices: Sequence[int]) -> Dict[int, float]:
-    """Per-vertex cheapest directed repair cost to any neighbor.
-
-    The Eq. (5) ingredient: a vertex left out of the independent set must
-    be repaired to *some* neighbor, costing at least this much.
-    """
-    out: Dict[int, float] = {}
-    allowed = set(vertices)
-    for v in vertices:
-        costs = [
-            graph.multiplicity(v) * cost
-            for u, cost in graph.neighbors(v).items()
-            if u in allowed
-        ]
-        out[v] = min(costs) if costs else 0.0
-    return out
+def _min_outgoing_cost(
+    graph: ViolationGraph, vertices: Sequence[int]
+) -> Dict[int, float]:
+    """Back-compat alias of :func:`~repro.core.single.frontier.min_outgoing_costs`."""
+    return min_outgoing_costs(graph, vertices)
 
 
 def _lower_bound(
@@ -158,6 +121,29 @@ def _upper_bound(
     return total
 
 
+def _advance_to_split(
+    kernel: SearchKernel,
+    state,
+    stats: ExpansionStats,
+    dispatcher: SubtreeDispatcher,
+    max_nodes: Optional[int],
+) -> bool:
+    """Serial prefix: widen the frontier until it can feed the fanout.
+
+    Returns True when the enumeration *finished* during the prefix (the
+    tree was too small to split — the caller completes locally, which is
+    exactly the serial path).
+    """
+    target = max(2, dispatcher.fanout())
+    while True:
+        if kernel.advance(
+            state, stats, max_nodes=max_nodes, stop_level=state.level + 1
+        ):
+            return True
+        if len(state.masks) >= target:
+            return False
+
+
 def enumerate_maximal_independent_sets(
     graph: ViolationGraph,
     vertices: Optional[Sequence[int]] = None,
@@ -175,164 +161,54 @@ def enumerate_maximal_independent_sets(
 
     This is the bitset engine (module docstring); results, statistics,
     and the budget-trip point are identical to
-    :func:`enumerate_maximal_independent_sets_setbased`.
+    :func:`enumerate_maximal_independent_sets_setbased`. When a subtree
+    dispatcher is installed (``repro.core.single.subtree``) and the
+    component crosses its threshold, the un-pruned enumeration is split
+    into subtree tasks whose merged output is the same list in the same
+    order (pruned enumerations never split here — only the winner search
+    in :func:`best_maximal_independent_set` does).
     """
     order = list(vertices) if vertices is not None else list(range(len(graph)))
     if stats is None:
         stats = ExpansionStats()
     if not order:
         return []
+    dispatcher = current_dispatcher()
+    split_wanted = (
+        dispatcher is not None
+        and not prune  # the exact-merge theorem needs an unpruned tree
+        and dispatcher.wants(len(order), prune=False, mode=MODE_ENUMERATE)
+    )
     with span(
         "mis/expand", fd=graph.fd.name, vertices=len(order), prune=prune
     ) as expand_span:
         masks = graph.subgraph_masks(order)
-        adjacency = masks.adjacency
-        n = len(order)
-        infinity = float("inf")
-        best_upper = infinity
-
-        min_out: List[float] = []
-        cost_columns = None
-        multiplicities = masks.multiplicities
-        if prune:
-            by_vertex = _min_outgoing_cost(graph, order)
-            min_out = [by_vertex[v] for v in order]
-            cost_rows = masks.cost_rows()
-            if _np is not None:
-                cost_columns = _np.array(cost_rows, dtype=float)
-
-        def upper_of(mask: int) -> float:
-            """Eq. (6) for one prefix-mask, computed once at emission.
-
-            The member-column minimum is order-independent, so the
-            vectorized path returns the same doubles the oracle's
-            ``min()`` produces; the outer accumulation walks outside
-            vertices in dense (= access) order, the oracle's sum order.
-            """
-            members = mask_bits(mask)
-            if cost_columns is not None:
-                column = cost_columns[:, members].min(axis=1).tolist()
-            else:
-                rows = cost_rows
-                column = [
-                    min(rows[i][j] for j in members) for i in range(n)
-                ]
-            total = 0.0
-            outside = masks.full_mask & ~mask
-            while outside:
-                low = outside & -outside
-                index = low.bit_length() - 1
-                total += multiplicities[index] * column[index]
-                outside ^= low
-            return total
-
-        def fresh_lower(mask: int, upto: int) -> float:
-            """Eq. (5) over dense prefix ``[0, upto)``, left-to-right."""
-            total = 0.0
-            for index in range(upto):
-                if not (mask >> index) & 1:
-                    total += min_out[index]
-            return total
-
-        # The frontier: parallel lists indexed per node. ``coverage`` is
-        # members ∪ their neighborhoods — the maximality certificate.
-        frontier_masks: List[int] = [1]
-        frontier_lower: List[float] = [0.0]
-        frontier_coverage: List[int] = [1 | adjacency[0]]
-        stats.nodes_generated += 1
-        pending_upper: List[float] = [upper_of(1)] if prune else []
-
-        for level in range(1, n):
-            stats.levels = level
-            vertex_adjacency = adjacency[level]
-            vertex_bit = 1 << level
-            prefix_mask = (vertex_bit << 1) - 1
-            if prune:
-                # Fold the uppers of everything emitted into this
-                # frontier — the exact set the oracle folds at the top
-                # of the level, before any prune check reads it.
-                for value in pending_upper:
-                    if value < best_upper:
-                        best_upper = value
-                pending_upper = []
-
-            emitted_index: Dict[int, int] = {}
-            next_masks: List[int] = []
-            next_lower: List[float] = []
-            next_coverage: List[int] = []
-
-            def emit(mask: int, lower: float, coverage: int) -> None:
-                if mask in emitted_index:
-                    stats.duplicates_removed += 1
-                    stats.search_dominance_prunes += 1
-                    return
-                emitted_index[mask] = len(next_masks)
-                stats.nodes_generated += 1
-                if max_nodes is not None and stats.nodes_generated > max_nodes:
-                    raise ExpansionLimitError(
-                        max_nodes, stats.nodes_generated, level
+        kernel = SearchKernel.for_graph(graph, order, prune=prune)
+        state = kernel.seed(stats)
+        final_masks: Optional[List[int]] = None
+        if split_wanted:
+            assert dispatcher is not None
+            if not _advance_to_split(kernel, state, stats, dispatcher, max_nodes):
+                final_masks = dispatcher.explore(
+                    SplitRequest(
+                        kernel=kernel,
+                        state=state,
+                        stats=stats,
+                        mode=MODE_ENUMERATE,
+                        max_nodes=max_nodes,
+                        fd_name=graph.fd.name,
+                        order=list(order),
                     )
-                next_masks.append(mask)
-                next_lower.append(lower)
-                next_coverage.append(coverage)
-                if prune:
-                    pending_upper.append(upper_of(mask))
-
-            for position in range(len(frontier_masks)):
-                mask = frontier_masks[position]
-                lower = frontier_lower[position]
-                stats.search_nodes_expanded += 1
-                if prune:
-                    # The bound was carried from the parent level — a
-                    # memo hit where the oracle recomputes from scratch.
-                    stats.search_bound_hits += 1
-                    if lower > best_upper:
-                        stats.nodes_pruned += 1
-                        continue
-                coverage = frontier_coverage[position]
-                stats.search_bitset_ops += 1
-                if vertex_adjacency & mask == 0:
-                    # FT-consistent: the only child adds the vertex.
-                    emit(
-                        mask | vertex_bit,
-                        lower,
-                        coverage | vertex_adjacency | vertex_bit,
-                    )
-                else:
-                    # Still maximal in the larger prefix; the excluded
-                    # vertex appends its Eq. (5) term to the carried sum.
-                    emit(
-                        mask,
-                        lower + min_out[level] if prune else 0.0,
-                        coverage,
-                    )
-                    # FTC child: strip the conflicting members, add the
-                    # vertex, re-derive its coverage, test maximality.
-                    candidate = (mask & ~vertex_adjacency) | vertex_bit
-                    candidate_coverage = candidate
-                    remaining = candidate
-                    while remaining:
-                        low = remaining & -remaining
-                        candidate_coverage |= adjacency[low.bit_length() - 1]
-                        remaining ^= low
-                        stats.search_bitset_ops += 1
-                    if prefix_mask & ~candidate_coverage == 0:
-                        emit(
-                            candidate,
-                            fresh_lower(candidate, level + 1) if prune else 0.0,
-                            candidate_coverage,
-                        )
-                    else:
-                        stats.non_maximal_discarded += 1
-            frontier_masks = next_masks
-            frontier_lower = next_lower
-            frontier_coverage = next_coverage
-        stats.sets_enumerated = len(frontier_masks)
+                )
+        if final_masks is None:
+            kernel.advance(state, stats, max_nodes=max_nodes)
+            final_masks = state.masks
+        stats.sets_enumerated = len(final_masks)
         expand_span.set(**stats.as_dict())
     order_tuple = masks.order
     return [
         frozenset(order_tuple[i] for i in mask_bits(mask))
-        for mask in frontier_masks
+        for mask in final_masks
     ]
 
 
@@ -445,6 +321,57 @@ def brute_force_maximal_independent_sets(
     return sorted(results, key=lambda s: sorted(s))
 
 
+def _best_via_split(
+    graph: ViolationGraph,
+    order: List[int],
+    prune: bool,
+    max_nodes: Optional[int],
+    stats: ExpansionStats,
+    dispatcher: SubtreeDispatcher,
+) -> FrozenSet[int]:
+    """Winner search with the frontier split into subtree tasks.
+
+    Chunks score their own surviving candidates; the parent reduces the
+    chunk winners in segment order with the serial comparator. Shared
+    incumbent bounds may only prune provably-beaten sets, so the winner
+    matches the serial scan (``docs/parallelism.md``).
+    """
+    with span(
+        "mis/expand",
+        fd=graph.fd.name,
+        vertices=len(order),
+        prune=prune,
+        split=True,
+    ) as expand_span:
+        kernel = SearchKernel.for_graph(
+            graph, order, prune=prune, with_costs=True
+        )
+        state = kernel.seed(stats)
+        winner = None
+        if _advance_to_split(kernel, state, stats, dispatcher, max_nodes):
+            # Finished during the serial prefix: score locally — the
+            # same scan, comparator and floats as the unsplit path.
+            stats.sets_enumerated = len(state.masks)
+            winner = select_best_mask(kernel, state.masks, order)
+        else:
+            winner = dispatcher.explore(
+                SplitRequest(
+                    kernel=kernel,
+                    state=state,
+                    stats=stats,
+                    mode=MODE_BEST,
+                    max_nodes=max_nodes,
+                    fd_name=graph.fd.name,
+                    order=list(order),
+                )
+            )
+        expand_span.set(**stats.as_dict())
+    if winner is None:
+        raise ValueError("no vertices to enumerate over")
+    mask = winner[0]
+    return frozenset(order[i] for i in mask_bits(mask))
+
+
 def best_maximal_independent_set(
     graph: ViolationGraph,
     vertices: Optional[Sequence[int]] = None,
@@ -454,47 +381,36 @@ def best_maximal_independent_set(
 ) -> FrozenSet[int]:
     """The independent set whose induced repair is cheapest (Theorem 2)."""
     order = list(vertices) if vertices is not None else list(range(len(graph)))
+    if stats is None:
+        stats = ExpansionStats()
+    dispatcher = current_dispatcher()
+    if (
+        order
+        and dispatcher is not None
+        and dispatcher.wants(len(order), prune=prune, mode=MODE_BEST)
+    ):
+        return _best_via_split(
+            graph, order, prune, max_nodes, stats, dispatcher
+        )
     candidates = enumerate_maximal_independent_sets(
         graph, order, prune=prune, max_nodes=max_nodes, stats=stats
     )
     if not candidates:
         raise ValueError("no vertices to enumerate over")
-    masks = graph.subgraph_masks(order)
-    adjacency = masks.adjacency
-    cost_rows = masks.cost_rows()
-    multiplicities = masks.multiplicities
-    full_mask = masks.full_mask
-    index_of = masks.index_of
-
-    def mask_assignment_cost(member_mask: int, members: List[int]) -> float:
-        """:func:`_assignment_cost` over the bitset view (same floats)."""
-        total = 0.0
-        outside = full_mask & ~member_mask
-        while outside:
-            low = outside & -outside
-            index = low.bit_length() - 1
-            pool = adjacency[index] & member_mask
-            row = cost_rows[index]
-            cheapest = min(
-                row[j] for j in (mask_bits(pool) if pool else members)
-            )
-            total += multiplicities[index] * cheapest
-            outside ^= low
-        return total
+    kernel = SearchKernel.for_graph(graph, order, prune=prune, with_costs=True)
+    index_of = graph.subgraph_masks(order).index_of
 
     best: Optional[FrozenSet[int]] = None
     best_cost = float("inf")
+    best_members: Optional[List[int]] = None
     for candidate in candidates:
         member_mask = 0
         for v in candidate:
             member_mask |= 1 << index_of[v]
-        cost = mask_assignment_cost(member_mask, mask_bits(member_mask))
-        if cost < best_cost - 1e-12 or (
-            abs(cost - best_cost) <= 1e-12
-            and best is not None
-            and sorted(candidate) < sorted(best)
-        ):
-            best, best_cost = candidate, cost
+        cost = kernel.mask_assignment_cost(member_mask)
+        members = sorted(candidate)
+        if better_candidate(cost, members, best_cost, best_members):
+            best, best_cost, best_members = candidate, cost, members
     assert best is not None
     return best
 

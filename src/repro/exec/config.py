@@ -67,6 +67,9 @@ class RepairConfig:
     component_budget: Optional[int] = None
     seed: object = None
     trace: bool = False
+    split_threshold: Optional[int] = None
+    max_subtasks: int = 16
+    bound_exchange: bool = True
 
     def __post_init__(self) -> None:
         # Deferred import: the engine imports this module at load time.
@@ -94,6 +97,13 @@ class RepairConfig:
             raise ValueError("n_jobs must be >= 1, or exactly -1")
         if self.component_budget is not None and self.component_budget < 1:
             raise ValueError("component_budget must be a positive node count")
+        if self.split_threshold is not None and self.split_threshold < 2:
+            raise ValueError(
+                "split_threshold must be >= 2 vertices (or None to disable "
+                "component splitting)"
+            )
+        if self.max_subtasks < 2:
+            raise ValueError("max_subtasks must be >= 2")
 
     # ------------------------------------------------------------------
     def merged(self, **overrides: Any) -> "RepairConfig":

@@ -54,6 +54,7 @@ traffic lands in ``ExecutionStats`` as ``relation_bytes_shipped``,
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 import warnings
@@ -72,12 +73,16 @@ from repro.core.repair import RepairResult, merge_results, squash_edits
 from repro.core.single.exact import repair_single_fd_exact
 from repro.core.single.greedy import repair_single_fd_greedy
 from repro.core.single.mis import ExpansionLimitError
+from repro.core.single.subtree import use_dispatcher
 from repro.core.violation import FTViolation, group_patterns
 from repro.dataset.relation import Relation
-from repro.exec import shipping
+from repro.exec import bounds, shipping
+from repro.exec.bounds import BoundExchange
 from repro.exec.cache import shared_model
 from repro.exec.config import RepairConfig
+from repro.exec.planner import SchedulePlan, plan_schedule
 from repro.exec.shipping import RelationRef
+from repro.exec.subtrees import PoolSubtreeDispatcher
 from repro.exec.stats import DegradedRepairWarning, ExecutionStats
 from repro.index.registry import AttributeIndexRegistry
 from repro.index.simjoin import SimilarityJoin
@@ -136,6 +141,11 @@ class ComponentOutcome:
     degraded: Optional[Dict[str, Any]]
     cache_hits: int
     cache_misses: int
+    #: executing process and its CPU time — ``time.process_time`` is
+    #: immune to time-sharing, so the scheduler's busy-skew accounting
+    #: stays meaningful even on oversubscribed machines
+    pid: int = 0
+    cpu_seconds: float = 0.0
     captured_warnings: List[Tuple[str, str]] = field(default_factory=list)
     #: serialized worker-local span tree (n_jobs>1 with trace on); the
     #: parent grafts it under its live ``execute`` span. ``None`` when
@@ -176,6 +186,9 @@ class DetectionOutcome:
     blocker: Optional[str]
     cache_hits: int
     cache_misses: int
+    #: executing process and CPU time (see ComponentOutcome)
+    pid: int = 0
+    cpu_seconds: float = 0.0
     #: serialized worker-local span tree (see ComponentOutcome.trace)
     trace: Optional[Dict[str, Any]] = None
 
@@ -248,20 +261,33 @@ def repair_component(
         if config.fallback != "greedy":
             raise
         degraded_to = GREEDY_COUNTERPART[algorithm]
-        warnings.warn(
-            f"{algorithm} exhausted its search budget on component {names} "
-            f"({type(exc).__name__}: {exc}); degrading to {degraded_to} "
-            f"for this component",
-            DegradedRepairWarning,
-            stacklevel=2,
-        )
-        meta["degraded"] = {
+        record = {
             "fds": names,
             "reason": "budget_exhausted",
             "error": type(exc).__name__,
             "from": algorithm,
             "to": degraded_to,
         }
+        where = ""
+        if isinstance(exc, ExpansionLimitError):
+            # Attribute the trip: which budget, how far the expansion
+            # got, and — when a split search degraded — which subtree
+            # chunk hit the wall (its lineage segment).
+            record["limit"] = exc.limit
+            record["nodes_generated"] = exc.nodes_generated
+            record["level"] = exc.level
+            if exc.subtree is not None:
+                record["subtree"] = list(exc.subtree)
+                lineage = "/".join(str(part) for part in exc.subtree)
+                where = f" in split subtree {lineage}"
+        warnings.warn(
+            f"{algorithm} exhausted its search budget on component {names}"
+            f"{where} ({type(exc).__name__}: {exc}); degrading to "
+            f"{degraded_to} for this component",
+            DegradedRepairWarning,
+            stacklevel=2,
+        )
+        meta["degraded"] = record
         meta["algorithm"] = degraded_to
         result = _dispatch(relation, fds, model, thresholds, degraded_to, config)
         result.stats["fallback_from"] = algorithm
@@ -394,6 +420,7 @@ def _component_outcome(task: ComponentTask) -> ComponentOutcome:
     )
     hits0, misses0 = model.cache_hits, model.cache_misses
     start = time.perf_counter()
+    cpu0 = time.process_time()
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         with use_kernel(task.config.kernel):
@@ -405,6 +432,10 @@ def _component_outcome(task: ComponentTask) -> ComponentOutcome:
                 task.config,
             )
     seconds = time.perf_counter() - start
+    # process_time of a coordinated task naturally excludes its subtree
+    # chunks' CPU — they burn cycles in worker processes — so per-unit
+    # CPU accounting stays additive under splitting.
+    cpu_seconds = time.process_time() - cpu0
     return ComponentOutcome(
         index=task.index,
         group=task.group,
@@ -416,6 +447,8 @@ def _component_outcome(task: ComponentTask) -> ComponentOutcome:
         degraded=meta["degraded"],
         cache_hits=model.cache_hits - hits0,
         cache_misses=model.cache_misses - misses0,
+        pid=os.getpid(),
+        cpu_seconds=cpu_seconds,
         captured_warnings=[
             (w.category.__name__, str(w.message)) for w in caught
         ],
@@ -447,12 +480,14 @@ def _detection_outcome(task: DetectionTask) -> DetectionOutcome:
     )
     hits0, misses0 = model.cache_hits, model.cache_misses
     start = time.perf_counter()
+    cpu0 = time.process_time()
     patterns = group_patterns(task.relation, task.fd)
     join = SimilarityJoin(
         task.fd, model, task.tau, strategy=task.config.join_strategy
     )
     with use_kernel(task.config.kernel):
         violations = join.join(patterns)
+    cpu_seconds = time.process_time() - cpu0
     return DetectionOutcome(
         index=task.index,
         fd_name=task.fd.name,
@@ -469,6 +504,8 @@ def _detection_outcome(task: DetectionTask) -> DetectionOutcome:
         blocker=join.plan.describe() if join.plan is not None else None,
         cache_hits=model.cache_hits - hits0,
         cache_misses=model.cache_misses - misses0,
+        pid=os.getpid(),
+        cpu_seconds=cpu_seconds,
     )
 
 
@@ -611,6 +648,8 @@ class RepairExecutor:
                 {
                     "fd": outcome.fd_name,
                     "seconds": outcome.seconds,
+                    "cpu_seconds": outcome.cpu_seconds,
+                    "pid": outcome.pid,
                     "violations": len(outcome.violations),
                     "possible_pairs": outcome.possible_pairs,
                     "candidates_generated": outcome.candidates_generated,
@@ -675,53 +714,59 @@ class RepairExecutor:
         The traffic dict records what actually crossed (or would cross,
         under ``fork``'s copy-on-write inheritance) the process boundary.
         """
-        workers = self.config.effective_jobs(len(tasks))
+        capped = self.config.effective_jobs(len(tasks))
+        raw = self.config.effective_jobs()
+        splittable = (
+            runner is _run_component_task
+            and raw > 1
+            and self.config.split_threshold is not None
+        )
+        plan: Optional[SchedulePlan] = None
+        if raw > 1 and (len(tasks) > 1 or splittable):
+            plan = plan_schedule(
+                tasks, raw, self.config.split_threshold, splittable
+            )
+        coordinated = set(plan.coordinated) if plan is not None else set()
+        # A coordinated run keeps the full pool even with few tasks —
+        # the giant component's subtree tasks are what fill it.
+        workers = raw if coordinated else capped
+        use_pool = workers > 1 and (len(tasks) > 1 or bool(coordinated))
         traffic: Dict[str, Any] = {
             "relations_shipped": 0,
             "relation_payload_bytes": 0,
             "relation_bytes_shipped": 0,
             "task_bytes_max": 0,
             "task_bytes_total": 0,
+            "tasks_coordinated": len(coordinated),
+            "tasks_split": 0,
+            "subtree_tasks": 0,
+            "steals": 0,
+            "incumbent_publishes": 0,
+            "bound_exchange_hits": 0,
+            "subtree_bytes_total": 0,
+            "subtree_bytes_max": 0,
+            "subtree_cpu_seconds": [],
+            "busy_skew_ratio": 1.0,
         }
         start = time.perf_counter()
         with span("execute", tasks=len(tasks)) as execute_span:
-            if workers <= 1 or len(tasks) <= 1:
+            if not use_pool:
                 workers = 1
                 outcomes = [runner(task) for task in tasks]
             else:
-                payload = shipping.pack(
-                    [task.relation_ref for task in tasks]
+                assert plan is not None
+                outcomes = self._run_pool(
+                    tasks, runner, workers, plan, coordinated, traffic
                 )
-                sizes = [
-                    len(pickle.dumps(task, protocol=5)) for task in tasks
-                ]
-                payload_bytes = shipping.payload_nbytes(payload)
-                traffic.update(
-                    relations_shipped=len(payload),
-                    relation_payload_bytes=payload_bytes,
-                    relation_bytes_shipped=payload_bytes * workers,
-                    task_bytes_max=max(sizes),
-                    task_bytes_total=sum(sizes),
-                )
-                lean = _LEAN_RUNNERS.get(runner, runner)
-                try:
-                    with ProcessPoolExecutor(
-                        max_workers=workers,
-                        initializer=shipping.install,
-                        initargs=(payload,),
-                    ) as pool:
-                        futures = [pool.submit(lean, task) for task in tasks]
-                        outcomes = [future.result() for future in futures]
-                except (TypeError, AttributeError) as exc:  # unpicklable
-                    raise RuntimeError(
-                        "parallel execution requires picklable FDs, "
-                        "relations and distance overrides (module-level "
-                        f"functions, not lambdas); underlying error: {exc}"
-                    ) from exc
             execute_span.set(
                 n_jobs=workers,
                 relation_bytes_shipped=traffic["relation_bytes_shipped"],
                 task_bytes_max=traffic["task_bytes_max"],
+                tasks_coordinated=traffic["tasks_coordinated"],
+                tasks_split=traffic["tasks_split"],
+                subtree_tasks=traffic["subtree_tasks"],
+                steals=traffic["steals"],
+                busy_skew_ratio=traffic["busy_skew_ratio"],
             )
             tracer = current_tracer()
             if tracer is not None and tracer.enabled:
@@ -733,6 +778,79 @@ class RepairExecutor:
         for outcome in outcomes:
             _reemit(getattr(outcome, "captured_warnings", ()))
         return outcomes, elapsed, workers, traffic
+
+    def _run_pool(
+        self,
+        tasks,
+        runner,
+        workers: int,
+        plan: SchedulePlan,
+        coordinated: Set[int],
+        traffic: Dict[str, Any],
+    ) -> List[Any]:
+        """The pool path: planned submission plus coordinated execution.
+
+        Plain tasks are submitted largest-estimated-first so the long
+        pole starts immediately instead of wherever discovery order put
+        it. Coordinated tasks (a dominant, splittable component) run in
+        the parent under a :class:`PoolSubtreeDispatcher` — their
+        branch-and-bound frontiers are cut into subtree tasks that
+        interleave with the plain queue on the same pool. The shared
+        incumbent array must be allocated and installed *before* the
+        pool exists so forked workers inherit it.
+        """
+        payload = shipping.pack([task.relation_ref for task in tasks])
+        sizes = [len(pickle.dumps(task, protocol=5)) for task in tasks]
+        payload_bytes = shipping.payload_nbytes(payload)
+        traffic.update(
+            relations_shipped=len(payload),
+            relation_payload_bytes=payload_bytes,
+            relation_bytes_shipped=payload_bytes * workers,
+            task_bytes_max=max(sizes),
+            task_bytes_total=sum(sizes),
+        )
+        lean = _LEAN_RUNNERS.get(runner, runner)
+        exchange: Optional[BoundExchange] = None
+        if coordinated and self.config.bound_exchange:
+            exchange = BoundExchange()
+            bounds.install(exchange.array)
+        dispatcher: Optional[PoolSubtreeDispatcher] = None
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=shipping.install,
+                initargs=(payload,),
+            ) as pool:
+                futures = {
+                    position: pool.submit(lean, tasks[position])
+                    for position in plan.order
+                    if position not in coordinated
+                }
+                parented: Dict[int, Any] = {}
+                if coordinated:
+                    dispatcher = PoolSubtreeDispatcher(
+                        pool, self.config, exchange, traffic
+                    )
+                    with use_dispatcher(dispatcher):
+                        for position in plan.order:
+                            if position in coordinated:
+                                parented[position] = runner(tasks[position])
+                outcomes = [
+                    parented[position]
+                    if position in parented
+                    else futures[position].result()
+                    for position in range(len(tasks))
+                ]
+        except (TypeError, AttributeError) as exc:  # unpicklable
+            raise RuntimeError(
+                "parallel execution requires picklable FDs, "
+                "relations and distance overrides (module-level "
+                f"functions, not lambdas); underlying error: {exc}"
+            ) from exc
+        finally:
+            bounds.clear()
+        traffic["busy_skew_ratio"] = _busy_skew(outcomes, dispatcher)
+        return outcomes
 
     def _merge(
         self,
@@ -759,6 +877,8 @@ class RepairExecutor:
                 "fds": list(o.fd_names),
                 "algorithm": o.algorithm,
                 "seconds": o.seconds,
+                "cpu_seconds": o.cpu_seconds,
+                "pid": o.pid,
                 "patterns": o.patterns,
                 "degraded": o.degraded is not None,
             }
@@ -812,3 +932,37 @@ def _utilization(outcomes, elapsed: float, workers: int) -> float:
     if elapsed <= 0 or workers <= 0:
         return 1.0
     return min(1.0, busy / (elapsed * workers))
+
+
+def _busy_skew(outcomes, dispatcher) -> float:
+    """Max/mean busy seconds across the processes that did the work.
+
+    1.0 is a perfectly balanced run; a static schedule with one giant
+    component approaches the worker count. Subtree busy time (tracked by
+    the dispatcher per worker pid) is added to the pid that ran it, and
+    the parent's coordinated time excludes the seconds it merely spent
+    waiting on subtree futures.
+    """
+    parent = os.getpid()
+    busy: Dict[int, float] = {}
+    parent_busy = 0.0
+    for outcome in outcomes:
+        pid = getattr(outcome, "pid", 0)
+        seconds = getattr(outcome, "seconds", 0.0)
+        if pid == parent:
+            parent_busy += seconds
+        elif pid:
+            busy[pid] = busy.get(pid, 0.0) + seconds
+    if dispatcher is not None:
+        for pid, seconds in dispatcher.busy.items():
+            busy[pid] = busy.get(pid, 0.0) + seconds
+        parent_busy = max(0.0, parent_busy - dispatcher.wait_seconds)
+    if parent_busy > 0.0:
+        busy[parent] = busy.get(parent, 0.0) + parent_busy
+    if not busy:
+        return 1.0
+    values = list(busy.values())
+    mean = sum(values) / len(values)
+    if mean <= 0.0:
+        return 1.0
+    return max(values) / mean

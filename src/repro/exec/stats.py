@@ -69,6 +69,42 @@ class ExecutionStats(dict):
         """
         return float(self.get("worker_utilization", 1.0))
 
+    # -- adaptive scheduling --------------------------------------------
+    @property
+    def tasks_coordinated(self) -> int:
+        """Tasks the planner ran in-parent for subtree splitting."""
+        return int(self.get("tasks_coordinated", 0))
+
+    @property
+    def tasks_split(self) -> int:
+        """Component searches whose frontier was cut into subtree tasks."""
+        return int(self.get("tasks_split", 0))
+
+    @property
+    def subtree_tasks(self) -> int:
+        """Subtree tasks dispatched to the pool (including re-splits)."""
+        return int(self.get("subtree_tasks", 0))
+
+    @property
+    def steals(self) -> int:
+        """Cooperative yields re-split into fresh subtree tasks."""
+        return int(self.get("steals", 0))
+
+    @property
+    def incumbent_publishes(self) -> int:
+        """Improved upper bounds written to the shared incumbent slots."""
+        return int(self.get("incumbent_publishes", 0))
+
+    @property
+    def bound_exchange_hits(self) -> int:
+        """Times a search adopted a tighter bound from another process."""
+        return int(self.get("bound_exchange_hits", 0))
+
+    @property
+    def busy_skew_ratio(self) -> float:
+        """Max over mean busy seconds per process (1.0 = balanced)."""
+        return float(self.get("busy_skew_ratio", 1.0))
+
     # -- distance cache -------------------------------------------------
     @property
     def cache_hits(self) -> int:
@@ -182,6 +218,17 @@ class ExecutionStats(dict):
             bits.append(
                 f"shipped {self.relation_bytes_shipped / 1024:.0f}KiB "
                 f"(max task {self.task_bytes_max}B)"
+            )
+        if self.tasks_split:
+            bits.append(
+                f"split {self.tasks_split} search(es) into "
+                f"{self.subtree_tasks} subtree task(s), "
+                f"{self.steals} steal(s)"
+            )
+        if self.bound_exchange_hits or self.incumbent_publishes:
+            bits.append(
+                f"bound exchange {self.bound_exchange_hits} hit(s)/"
+                f"{self.incumbent_publishes} publish(es)"
             )
         if self.degraded:
             bits.append(f"degraded x{len(self.degraded_components)}")

@@ -4,6 +4,13 @@ from repro.generator.vocab import build_vocabulary, vocabulary_separation
 from repro.generator.entities import AttributeRole, EntityCatalog, FDSpec
 from repro.generator.noise import ErrorKind, InjectedError, NoiseConfig, inject_noise
 from repro.generator.hosp import HOSP_FDS, HOSP_SCHEMA, generate_hosp, hosp_thresholds
+from repro.generator.skew import (
+    SKEW_FDS,
+    SKEW_SCHEMA,
+    generate_skew,
+    skew_chain_lengths,
+    skew_thresholds,
+)
 from repro.generator.tax import TAX_FDS, TAX_SCHEMA, generate_tax, tax_thresholds
 
 __all__ = [
@@ -24,4 +31,9 @@ __all__ = [
     "TAX_SCHEMA",
     "TAX_FDS",
     "tax_thresholds",
+    "generate_skew",
+    "SKEW_SCHEMA",
+    "SKEW_FDS",
+    "skew_chain_lengths",
+    "skew_thresholds",
 ]

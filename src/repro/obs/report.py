@@ -37,7 +37,7 @@ SCHEMA_VERSION = 1
 
 #: counter/attribute name fragments that are wall-clock or machine
 #: dependent and therefore excluded by :meth:`RunReport.normalized`
-_NONDETERMINISTIC_FRAGMENTS = ("seconds", "utilization")
+_NONDETERMINISTIC_FRAGMENTS = ("seconds", "utilization", "busy_skew")
 
 
 # ----------------------------------------------------------------------

@@ -185,7 +185,7 @@ class TestParallelMerge:
         # the algorithmic counters below them must still match exactly.
         skip = (
             "seconds", "utilization", "n_jobs", "shipped", "bytes",
-            "cache", "kernel",
+            "cache", "kernel", "busy_skew",
         )
         serial = {
             k: v

@@ -1,0 +1,156 @@
+"""CI gate over the ``BENCH_serve.json`` serving-layer trajectory.
+
+Checks the **latest** entry ``benchmarks/_serve_bench.py`` appended
+against the serving acceptance floors — absolute numbers, not baselines,
+because the serving contract is stated in service-level terms:
+
+1. **throughput** — sustained ``requests_per_second`` ≥ ``MIN_RPS``
+   (1,000 req/s single-process at smoke scale);
+2. **tail latency** — ``latency_p99_ms`` ≤ ``MAX_P99_MS`` (25 ms);
+3. **cache economics** — ``cache_speedup`` (cold fit over cache hit)
+   ≥ ``MIN_CACHE_SPEEDUP`` (50×);
+4. **index efficiency** — ``examined_fraction`` (elements the indexed
+   hot path verified over what the linear scan would touch)
+   ≤ ``MAX_EXAMINED_FRACTION`` (0.20);
+5. **equivalence** — ``equivalence_mismatches`` must be 0: every served
+   response replayed byte-identical through the batch
+   ``IncrementalRepairer.repair_record``.
+
+Exit status follows the shared gate conventions (``benchmarks/_gate.py``):
+0 pass, 1 regression, 2 missing/malformed trajectory. A latency /
+throughput table is appended to ``$GITHUB_STEP_SUMMARY`` when set.
+
+Usage::
+
+    python benchmarks/check_serve_gate.py [path/to/BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    ROOT,
+    verdict_summary,
+)
+
+DEFAULT_PATH = ROOT / "BENCH_serve.json"
+
+MIN_RPS = 1000.0
+MAX_P99_MS = 25.0
+MIN_CACHE_SPEEDUP = 50.0
+MAX_EXAMINED_FRACTION = 0.20
+
+
+def check(entry: dict) -> list:
+    """The failed-check descriptions for *entry* (empty = pass)."""
+    failures = []
+    rps = float(entry["requests_per_second"])
+    if rps < MIN_RPS:
+        failures.append(
+            f"throughput {rps:.0f} req/s below floor {MIN_RPS:.0f}"
+        )
+    p99 = float(entry["latency_p99_ms"])
+    if p99 > MAX_P99_MS:
+        failures.append(
+            f"p99 latency {p99:.2f}ms above ceiling {MAX_P99_MS:.0f}ms"
+        )
+    speedup = float(entry["cache_speedup"])
+    if speedup < MIN_CACHE_SPEEDUP:
+        failures.append(
+            f"cache speedup {speedup:.1f}x below floor "
+            f"{MIN_CACHE_SPEEDUP:.0f}x"
+        )
+    fraction = float(entry["examined_fraction"])
+    if fraction > MAX_EXAMINED_FRACTION:
+        failures.append(
+            f"examined fraction {fraction:.3f} above ceiling "
+            f"{MAX_EXAMINED_FRACTION:.2f}"
+        )
+    mismatches = int(entry["equivalence_mismatches"])
+    if mismatches:
+        failures.append(
+            f"{mismatches} served response(s) differ from the batch "
+            f"repair path"
+        )
+    return failures
+
+
+def latency_table(entry: dict) -> str:
+    """Markdown service-level table for the step summary."""
+    rows = [
+        ("requests/s", f"{entry['requests_per_second']:.0f}",
+         f"≥ {MIN_RPS:.0f}"),
+        ("p50 ms", f"{entry['latency_p50_ms']:.2f}", "—"),
+        ("p95 ms", f"{entry['latency_p95_ms']:.2f}", "—"),
+        ("p99 ms", f"{entry['latency_p99_ms']:.2f}",
+         f"≤ {MAX_P99_MS:.0f}"),
+        ("cache speedup", f"{entry['cache_speedup']:.0f}x",
+         f"≥ {MIN_CACHE_SPEEDUP:.0f}x"),
+        ("examined fraction", f"{entry['examined_fraction']:.3f}",
+         f"≤ {MAX_EXAMINED_FRACTION:.2f}"),
+        ("mean batch size", f"{entry['serve_batch_mean_size']:.1f}", "—"),
+        ("queue depth peak", f"{entry['queue_depth_peak']}", "—"),
+        ("equivalence mismatches",
+         f"{entry['equivalence_mismatches']}", "= 0"),
+    ]
+    lines = ["| metric | value | floor/ceiling |", "|---|---:|---:|"]
+    lines.extend(f"| {n} | {v} | {b} |" for n, v, b in rows)
+    return "\n".join(lines)
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        print(
+            f"gate: {path} not found; run benchmarks/_serve_bench.py first",
+            file=sys.stderr,
+        )
+        verdict_summary("serve gate", "MISSING", f"`{path.name}` not found")
+        return EXIT_MISSING
+    try:
+        trajectory = json.loads(path.read_text())
+        entries = [e for e in trajectory if e.get("kind") == "serve"]
+        latest = entries[-1]
+        failures = check(latest)
+    except (ValueError, KeyError, IndexError, TypeError) as exc:
+        print(
+            f"gate: cannot read trajectory entries: {exc}", file=sys.stderr
+        )
+        verdict_summary(
+            "serve gate", "MISSING", f"malformed `{path.name}`: {exc}"
+        )
+        return EXIT_MISSING
+
+    print(
+        f"gate: serve ({latest.get('scale')}) — "
+        f"{latest['requests_per_second']:.0f} req/s, "
+        f"p99 {latest['latency_p99_ms']:.2f}ms, "
+        f"cache {latest['cache_speedup']:.0f}x, "
+        f"examined {latest['examined_fraction']:.3f}, "
+        f"mismatches {latest['equivalence_mismatches']}"
+    )
+    detail = latency_table(latest)
+    if failures:
+        for failure in failures:
+            print(f"gate: FAIL — {failure}", file=sys.stderr)
+        verdict_summary(
+            "serve gate",
+            "FAIL",
+            "\n".join(f"- {f}" for f in failures) + "\n\n" + detail,
+        )
+        return EXIT_REGRESSION
+    print("gate: PASS")
+    verdict_summary("serve gate", "PASS", detail)
+    return EXIT_PASS
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

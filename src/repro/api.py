@@ -38,6 +38,15 @@ config field          CLI flag                 meaning
 accepted aliases of ``join_strategy`` / ``--join-strategy``; the
 ``join_strategy`` spelling is the documented one.
 
+Serving
+-------
+:class:`RepairService` (with :class:`ServeConfig`, the fingerprint-keyed
+:class:`ModelCache`, and the indexed :class:`IndexedRepairer` hot path)
+is the embeddable repair-as-a-service core behind ``repro serve`` —
+fit once, repair records over an async micro-batched pipeline with the
+same outputs as :meth:`IncrementalRepairer.repair_record`. See
+``docs/serving.md``.
+
 Dataset substrate
 -----------------
 :class:`Relation` is columnar and dictionary-encoded (one
@@ -81,6 +90,13 @@ from repro.exec import (
     RelationRef,
 )
 from repro.obs import RunReport
+from repro.serve import (
+    IndexedRepairer,
+    ModelCache,
+    RepairService,
+    ServeConfig,
+    ServiceOverloadedError,
+)
 
 __all__ = [
     # constraints and repair
@@ -113,6 +129,12 @@ __all__ = [
     # distances and observability
     "DistanceModel",
     "RunReport",
+    # serving (repair-as-a-service, docs/serving.md)
+    "RepairService",
+    "ServeConfig",
+    "IndexedRepairer",
+    "ModelCache",
+    "ServiceOverloadedError",
     # deprecation policy helpers
     "deprecated",
     "CURRENT_RELEASE",

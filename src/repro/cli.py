@@ -10,11 +10,18 @@ Usage::
 
     python -m repro data.csv --fd "zip -> city" --trace --report run.json
 
+    python -m repro serve reference.csv --fd "zip -> city" --port 8765
+
 ``--trace`` records the run through the observability layer
 (``docs/observability.md``) and prints a phase-timing table;
 ``--report PATH`` writes the structured JSON run report (implies
 ``--trace``). A bare ``--report`` keeps its historical meaning — print
 every cell edit (also available as ``--edits``).
+
+``repro serve`` fits a model on the reference CSV and starts the
+repair-as-a-service HTTP endpoint (``docs/serving.md``): ``POST
+/repair`` with ``{"record": {...}}``, ``GET /stats`` for latency
+quantiles and cache counters.
 
 Exit status is 0 on success, 2 on usage errors.
 """
@@ -196,7 +203,147 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Fit a repair model on a reference CSV and serve per-record "
+            "repairs over HTTP (repair-as-a-service)."
+        ),
+    )
+    parser.add_argument(
+        "input", type=Path, help="reference CSV to fit the model on"
+    )
+    parser.add_argument(
+        "--fd",
+        action="append",
+        dest="fds",
+        metavar="SPEC",
+        required=True,
+        help='an FD, e.g. "zip -> city, state"; repeatable',
+    )
+    parser.add_argument(
+        "--tau",
+        type=float,
+        default=None,
+        help="one threshold for every FD (default: derived from the data)",
+    )
+    parser.add_argument(
+        "--lhs-weight",
+        type=float,
+        default=0.5,
+        help="w_l of the projection distance; w_r = 1 - w_l (default 0.5)",
+    )
+    parser.add_argument(
+        "--numeric",
+        action="append",
+        default=[],
+        metavar="COLUMN",
+        help="treat COLUMN as numeric (Euclidean distance); repeatable",
+    )
+    parser.add_argument(
+        "--absorb",
+        action="store_true",
+        help=(
+            "absorb consistent unseen records into the model instead of "
+            "forcing them onto fitted targets"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (default 8765)"
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max requests per micro-batch (default 64)",
+    )
+    parser.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="max seconds a micro-batch waits to fill (default 0.002)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="request queue bound; beyond it requests get 503 (default 2048)",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=8,
+        metavar="N",
+        help="LRU model-cache capacity (default 8)",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro serve`` (fit + listen until interrupted)."""
+    from repro.serve import RepairService, ServeConfig, run_server
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        fds: List[FD] = [FD.parse(spec) for spec in args.fds]
+    except ValueError as exc:
+        parser.error(str(exc))
+    if not 0.0 <= args.lhs_weight <= 1.0:
+        parser.error("--lhs-weight must be in [0, 1]")
+
+    try:
+        relation = read_csv(args.input, numeric=args.numeric)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            batch_size=args.batch_size,
+            batch_timeout=args.batch_timeout,
+            queue_limit=args.queue_limit,
+            cache_capacity=args.cache_capacity,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    service = RepairService(config)
+    print(f"{args.input}: fitting on {len(relation)} rows, {len(fds)} FD(s)")
+    start = time.perf_counter()
+    try:
+        key = service.fit(
+            relation,
+            fds,
+            thresholds=args.tau,
+            weights=Weights(
+                args.lhs_weight, round(1.0 - args.lhs_weight, 12)
+            ),
+            absorb=args.absorb,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"model {key} fitted in {time.perf_counter() - start:.2f}s")
+    run_server(service)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -30,8 +30,8 @@ from repro.core.engine import Repairer
 from repro.core.multi.fdgraph import component_attributes, fd_components
 from repro.core.multi.target_tree import TargetTree
 from repro.core.repair import CellEdit
-from repro.core.violation import projection_distance_within
-from repro.dataset.relation import Relation
+from repro.core.violation import PreparedProjection
+from repro.dataset.relation import Relation, ValueDictionary
 
 
 class NotFittedError(RuntimeError):
@@ -39,24 +39,88 @@ class NotFittedError(RuntimeError):
 
 
 class _Component:
-    """Fitted state for one connected FD-graph component."""
+    """Fitted state for one connected FD-graph component.
+
+    When the fitted relation's per-attribute intern tables
+    (:class:`~repro.dataset.relation.ValueDictionary`, PR 6) are passed
+    in, element membership is keyed on dense value-id tuples instead of
+    raw value tuples: ``resolved`` hashes a handful of small ints per FD
+    rather than re-hashing the record's strings, and the fitted state
+    shares the batch substrate's intern tables instead of duplicating
+    every string. Records carrying values the fit never saw (and
+    patterns absorbed from such records) fall back to the raw-value
+    sets, which stay complete alongside the id sets.
+    """
 
     def __init__(
         self,
         fds: Sequence[FD],
         elements_per_fd: List[List[Tuple]],
         model: DistanceModel,
+        dictionaries: Optional[Mapping[str, ValueDictionary]] = None,
     ) -> None:
         self.fds = list(fds)
         self.attributes: Tuple[str, ...] = tuple(component_attributes(fds))
         self.elements_per_fd = [list(e) for e in elements_per_fd]
         self._element_sets = [set(e) for e in elements_per_fd]
         self._model = model
+        self._dictionaries = dict(dictionaries) if dictionaries else None
+        #: per-FD sets of element id tuples; an entry is ``None`` when
+        #: some element of that FD is not encodable (no dictionaries, or
+        #: a value outside the intern tables)
+        self._element_ids: Optional[List[Optional[set]]] = None
+        if self._dictionaries is not None:
+            self._element_ids = [
+                self._encode_all(fd, elements)
+                for fd, elements in zip(self.fds, self.elements_per_fd)
+            ]
         self.tree = TargetTree(self.fds, self.elements_per_fd, model)
 
+    # -- dictionary-id keying ------------------------------------------
+    def _encode(self, fd: FD, values: Tuple) -> Optional[Tuple[int, ...]]:
+        """*values* as dense value ids, or ``None`` on any unseen value.
+
+        Equal values intern to equal ids (the PR-6 invariant), so id
+        tuples are equal iff the value tuples are — id-set membership is
+        exactly raw-set membership for encodable patterns.
+        """
+        dicts = self._dictionaries
+        if dicts is None:
+            return None
+        try:
+            return tuple(
+                dicts[attr].id_of(value)
+                for attr, value in zip(fd.attributes, values)
+            )
+        except (KeyError, TypeError):
+            return None
+
+    def _encode_all(
+        self, fd: FD, elements: Sequence[Tuple]
+    ) -> Optional[set]:
+        encoded = set()
+        for element in elements:
+            key = self._encode(fd, element)
+            if key is None:
+                return None
+            encoded.add(key)
+        return encoded
+
     def resolved(self, record: Mapping[str, object]) -> bool:
-        for fd, members in zip(self.fds, self._element_sets):
+        ids = self._element_ids
+        for pos, (fd, members) in enumerate(
+            zip(self.fds, self._element_sets)
+        ):
             pattern = tuple(record[a] for a in fd.attributes)
+            id_set = ids[pos] if ids is not None else None
+            if id_set is not None:
+                key = self._encode(fd, pattern)
+                if key is not None:
+                    # id sets are complete for encodable patterns, so
+                    # the verdict is exact — no raw-set re-check needed
+                    if key not in id_set:
+                        return False
+                    continue
             if pattern not in members:
                 return False
         return True
@@ -64,31 +128,44 @@ class _Component:
     def consistent_everywhere(
         self, record: Mapping[str, object], thresholds: Dict[FD, float]
     ) -> bool:
-        """No fitted element FT-violates any of the record's patterns."""
+        """No fitted element FT-violates any of the record's patterns.
+
+        The record's pattern is prepared **once per FD**
+        (:class:`~repro.core.violation.PreparedProjection`: one Myers
+        PEQ table per attribute) and streamed over the fitted elements,
+        instead of paying a fresh kernel preparation per element. Same
+        accepted pairs and ``kernel_calls`` accounting as the pairwise
+        :func:`~repro.core.violation.projection_distance_within`.
+        """
         for fd, elements in zip(self.fds, self.elements_per_fd):
             pattern = tuple(record[a] for a in fd.attributes)
             tau = thresholds[fd]
+            prepared = PreparedProjection(self._model, fd, pattern)
             for element in elements:
                 if element == pattern:
                     continue
-                if (
-                    projection_distance_within(
-                        self._model, fd, pattern, element, tau
-                    )
-                    is not None
-                ):
+                if prepared.distance_within(element, tau) is not None:
                     return False
         return True
 
     def absorb(self, record: Mapping[str, object]) -> None:
         changed = False
-        for fd, elements, members in zip(
-            self.fds, self.elements_per_fd, self._element_sets
+        for pos, (fd, elements, members) in enumerate(
+            zip(self.fds, self.elements_per_fd, self._element_sets)
         ):
             pattern = tuple(record[a] for a in fd.attributes)
             if pattern not in members:
                 elements.append(pattern)
                 members.add(pattern)
+                if self._element_ids is not None:
+                    id_set = self._element_ids[pos]
+                    if id_set is not None:
+                        key = self._encode(fd, pattern)
+                        if key is not None:
+                            id_set.add(key)
+                        # unseen values stay raw-only; dictionaries are
+                        # shared with the fitted relation and absorb
+                        # must not grow them behind its back
                 changed = True
         if changed:
             self.tree = TargetTree(self.fds, self.elements_per_fd, self._model)
@@ -136,7 +213,15 @@ class IncrementalRepairer:
             _, elements = greedy_sets_per_fd(
                 relation, component_fds, model, thresholds, seed_dominant=True
             )
-            components.append(_Component(component_fds, elements, model))
+            # share the fitted relation's intern tables so membership
+            # tests run on dense value ids (PR-6 columnar substrate)
+            dictionaries = {
+                attr: relation.dictionary(attr)
+                for attr in component_attributes(component_fds)
+            }
+            components.append(
+                _Component(component_fds, elements, model, dictionaries)
+            )
         self._components = components
         self._model = model
         self._thresholds = thresholds

@@ -150,11 +150,45 @@ class _StringIndex:
         self._raw_pairs[ratio] = result
         return result
 
+    def probe(self, query: str, ratio: float) -> List[int]:
+        """Canonical codes possibly within ``ratio`` edits of *query*.
+
+        The one-vs-many form of :meth:`raw_pairs`: the same pigeonhole
+        prefix filter (any ``k*q + 1`` grams of the query must hit a
+        value within ``k`` edits, since one edit destroys at most ``q``
+        grams), applied from a single probe value that need not be in
+        the index. The result is a superset of the values within
+        ``floor(ratio * max_len + eps)`` edits — callers verify exactly.
+        """
+        self._ensure_grams()
+        eps = _budget_eps()
+        q = self.q
+        la = len(query)
+        profile = frozenset(qgrams(query, q))
+        frequency = self._frequency
+        by_length = self._by_length
+        postings = self._postings
+        assert frequency is not None and by_length is not None
+        assert postings is not None
+        prefix_source = sorted(profile, key=lambda g: (frequency[g], g))
+        out: Set[int] = set()
+        for lb, bucket_codes in by_length.items():
+            k = int(ratio * (la if la > lb else lb) + eps)
+            if (la - lb if la > lb else lb - la) > k:
+                continue
+            if len(prefix_source) <= k * q:
+                out.update(bucket_codes)
+            else:
+                bucket = postings[lb]
+                for gram in prefix_source[: k * q + 1]:
+                    out.update(bucket.get(gram, ()))
+        return sorted(out)
+
 
 class _NumericIndex:
     """Canonical sorted order (and band windows) of one numeric attribute."""
 
-    __slots__ = ("values", "code_of", "order", "_windows")
+    __slots__ = ("values", "code_of", "order", "_windows", "_sorted")
 
     def __init__(self, values: Sequence[float]) -> None:
         self.values: List[float] = list(values)
@@ -165,6 +199,17 @@ class _NumericIndex:
             range(len(self.values)), key=lambda code: self.values[code]
         )
         self._windows: Dict[float, Tuple[Tuple[int, int], ...]] = {}
+        self._sorted: Optional[List[float]] = None
+
+    def probe(self, query: float, band: float) -> List[int]:
+        """Canonical codes with ``|value - query| <= band`` (bisected)."""
+        if self._sorted is None:
+            self._sorted = [self.values[code] for code in self.order]
+        from bisect import bisect_left, bisect_right
+
+        lo = bisect_left(self._sorted, query - band)
+        hi = bisect_right(self._sorted, query + band)
+        return self.order[lo:hi]
 
     def windows(self, band: float) -> Tuple[Tuple[int, int], ...]:
         """Canonical code pairs within *band* of each other, cached."""
@@ -201,6 +246,8 @@ class AttributeIndexRegistry:
         self.q = q
         self.index_builds = 0
         self.index_reuses = 0
+        #: one-vs-many candidate probes (serving path; see qgram_probe)
+        self.index_probes = 0
         #: settle kernel invocations (cache-missed ``lev <= k`` verdicts)
         self.kernel_calls = 0
         self._strings: Dict[str, _StringIndex] = {}
@@ -362,6 +409,50 @@ class AttributeIndexRegistry:
                     return None
         kept.sort()
         return tuple(kept), expanded
+
+    def qgram_probe(
+        self,
+        attribute: str,
+        values: Sequence[str],
+        query: str,
+        ratio: float,
+    ) -> List[int]:
+        """Local ids of *values* possibly within ``ratio`` edits of *query*.
+
+        One-vs-many candidate generation for the per-record serving
+        path: the shared q-gram postings answer a single probe value
+        (which need not be indexed) instead of a full self-join. Returns
+        a **superset** of the values within
+        ``floor(ratio * max_len + eps)`` edits — callers verify exactly,
+        so a looser probe can never change results, only waste work.
+        """
+        entry, codes = self.string_index(attribute, values)
+        self.index_probes += 1
+        raw = entry.probe(query, ratio)
+        if not raw:
+            return []
+        local_of = {code: vid for vid, code in enumerate(codes)}
+        return [local_of[code] for code in raw]
+
+    def band_probe(
+        self,
+        attribute: str,
+        values: Sequence[float],
+        query: float,
+        band: float,
+    ) -> List[int]:
+        """Local ids of *values* with ``|value - query| <= band``.
+
+        Numeric twin of :meth:`qgram_probe` over the shared sorted
+        order; exact (the band window is the candidate condition).
+        """
+        entry, codes = self.numeric_index(attribute, values)
+        self.index_probes += 1
+        raw = entry.probe(query, band)
+        if not raw:
+            return []
+        local_of = {code: vid for vid, code in enumerate(codes)}
+        return [local_of[code] for code in raw]
 
     # ------------------------------------------------------------------
     def band_windows(

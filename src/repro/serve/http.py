@@ -1,0 +1,235 @@
+"""Stdlib asyncio HTTP front-end for :class:`RepairService`.
+
+No web framework is available in the reproduction environment, so this
+is a deliberately small HTTP/1.1 server over :func:`asyncio.start_server`
+— request-line + headers + ``Content-Length`` body, JSON in and out,
+keep-alive by default. It only has to speak to benchmark drivers and
+simple clients (``curl``, ``urllib``), not the open internet.
+
+Endpoints
+---------
+``GET /healthz``
+    ``200 {"status": "ok", "models": [...]}`` — liveness + loaded keys.
+``GET /stats``
+    :meth:`RepairService.snapshot` — counters, cache traffic, latency
+    quantiles, queue-depth gauge, histogram.
+``POST /repair``
+    Body ``{"record": {...}}`` or ``{"records": [{...}, ...]}``, plus
+    optional ``"model": "<key>"``. Responds with the repair result (or
+    ``{"results": [...]}`` for the bulk form). Errors map to status
+    codes: malformed request → 400, unknown model key → 404, queue
+    full → 503 with ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.batching import ServiceOverloadedError
+from repro.serve.service import RepairService, UnknownModelError
+
+#: request bodies beyond this are rejected with 413
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response(
+    status: int, payload: Dict[str, Any], keep_alive: bool = True
+) -> bytes:
+    body = json.dumps(payload).encode()
+    headers = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if status == 503:
+        headers.append("Retry-After: 1")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+async def _read_request(
+    reader: "asyncio.StreamReader",
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one request; ``None`` on clean EOF / malformed preamble."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ValueError(f"body too large ({length} bytes)")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+class ServeHTTP:
+    """One HTTP listener bound to a :class:`RepairService`."""
+
+    def __init__(self, service: RepairService) -> None:
+        self.service = service
+        self._server: Optional["asyncio.base_events.Server"] = None
+
+    # -- request dispatch ----------------------------------------------
+    async def _handle_repair(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "body must be a JSON object"}
+        model = payload.get("model")
+        try:
+            if "records" in payload:
+                records = payload["records"]
+                if not isinstance(records, list):
+                    return 400, {"error": '"records" must be a list'}
+                results = list(
+                    await asyncio.gather(
+                        *(
+                            self.service.repair(record, model=model)
+                            for record in records
+                        )
+                    )
+                )
+                return 200, {"results": results}
+            record = payload.get("record")
+            if not isinstance(record, dict):
+                return 400, {
+                    "error": 'body needs a "record" object or "records" list'
+                }
+            return 200, await self.service.repair(record, model=model)
+        except UnknownModelError as exc:
+            return 404, {"error": f"unknown model: {exc}"}
+        except ServiceOverloadedError as exc:
+            return 503, {"error": str(exc)}
+        except KeyError as exc:
+            return 400, {"error": f"bad record: {exc}"}
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {
+                "status": "ok",
+                "models": self.service.model_keys,
+            }
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self.service.snapshot()
+        if path == "/repair":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._handle_repair(body)
+        return 404, {"error": f"no such endpoint: {path}"}
+
+    # -- connection loop -----------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except ValueError as exc:
+                    writer.write(_response(413, {"error": str(exc)}, False))
+                    await writer.drain()
+                    break
+                except asyncio.IncompleteReadError:
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                try:
+                    status, payload = await self._dispatch(
+                        method, path, body
+                    )
+                except Exception as exc:  # noqa: BLE001 — 500, keep serving
+                    status, payload = 500, {"error": str(exc)}
+                writer.write(_response(status, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.service.config.host,
+            self.service.config.port,
+        )
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        host, port = await self.start()
+        assert self._server is not None
+        print(f"repro serve listening on http://{host}:{port}")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+
+def run_server(service: RepairService) -> None:
+    """Blocking entry point (the ``repro serve`` CLI)."""
+    try:
+        asyncio.run(ServeHTTP(service).serve_forever())
+    except KeyboardInterrupt:
+        pass
+
+
+__all__ = ["MAX_BODY_BYTES", "ServeHTTP", "run_server"]

@@ -1,0 +1,127 @@
+"""Latency accounting for the serving layer: quantiles, histogram, gauges.
+
+The serving acceptance criteria are phrased in tail latency (p99) and
+sustained throughput, so the recorder keeps
+
+* a bounded **reservoir** of recent end-to-end latencies (enqueue to
+  response) from which p50/p95/p99 are computed exactly over the
+  window — at serving rates the window covers minutes of traffic;
+* a fixed **log-spaced histogram** (JSON-safe bucket counts, never
+  trimmed) for the benchmark trajectory and the ``/stats`` endpoint;
+* cumulative count / sum / max plus a separate queue-wait aggregate, so
+  queueing delay is distinguishable from service time;
+* a **queue-depth gauge** (current and peak) sampled at enqueue.
+
+Everything is plain counters — ``snapshot()`` feeds the service's
+:class:`~repro.obs.CounterRegistry`, which is how the latency spans and
+the queue-depth gauge reach run reports and ``repro.obs`` consumers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+#: histogram bucket upper bounds, seconds (log-spaced 0.1ms .. 10s)
+BUCKET_BOUNDS: Sequence[float] = tuple(
+    0.0001 * (10 ** (i / 4)) for i in range(21)
+)
+
+#: recent latencies kept for exact window quantiles
+RESERVOIR_SIZE = 65_536
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """The *q*-quantile of pre-sorted values (nearest-rank, q in [0,1])."""
+    if not sorted_values:
+        return 0.0
+    if q <= 0.0:
+        return sorted_values[0]
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+class LatencyRecorder:
+    """Streaming latency + queue-depth accounting for one service."""
+
+    def __init__(self, reservoir_size: int = RESERVOIR_SIZE) -> None:
+        self._window: Deque[float] = deque(maxlen=reservoir_size)
+        self._buckets: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self.queue_wait_total = 0.0
+        self.queue_wait_max = 0.0
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, seconds: float, queue_wait: Optional[float] = None
+    ) -> None:
+        """Record one request's end-to-end latency (and queue wait)."""
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        self._window.append(seconds)
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if seconds <= bound:
+                self._buckets[i] += 1
+                break
+        else:
+            self._buckets[-1] += 1
+        if queue_wait is not None:
+            self.queue_wait_total += queue_wait
+            if queue_wait > self.queue_wait_max:
+                self.queue_wait_max = queue_wait
+
+    def sample_queue_depth(self, depth: int) -> None:
+        """Update the queue-depth gauge (called at enqueue)."""
+        self.queue_depth = depth
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+
+    # ------------------------------------------------------------------
+    def quantiles(self) -> Dict[str, float]:
+        """p50/p95/p99 (seconds) over the recent window, exact."""
+        ordered = sorted(self._window)
+        return {
+            "p50": quantile(ordered, 0.50),
+            "p95": quantile(ordered, 0.95),
+            "p99": quantile(ordered, 0.99),
+        }
+
+    def histogram(self) -> Dict[str, int]:
+        """Non-empty histogram buckets, labelled by upper bound (ms)."""
+        out: Dict[str, int] = {}
+        for i, count in enumerate(self._buckets):
+            if not count:
+                continue
+            if i < len(BUCKET_BOUNDS):
+                label = f"le_{BUCKET_BOUNDS[i] * 1000:.3f}ms"
+            else:
+                label = "overflow"
+            out[label] = count
+        return out
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat JSON-safe metrics (CounterRegistry / ``/stats`` shape)."""
+        q = self.quantiles()
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "latency_count": self.count,
+            "latency_mean_ms": mean * 1000.0,
+            "latency_p50_ms": q["p50"] * 1000.0,
+            "latency_p95_ms": q["p95"] * 1000.0,
+            "latency_p99_ms": q["p99"] * 1000.0,
+            "latency_max_ms": self.max_seconds * 1000.0,
+            "queue_wait_mean_ms": (
+                self.queue_wait_total / self.count * 1000.0
+                if self.count
+                else 0.0
+            ),
+            "queue_wait_max_ms": self.queue_wait_max * 1000.0,
+            "queue_depth": self.queue_depth,
+            "queue_depth_peak": self.queue_depth_peak,
+        }

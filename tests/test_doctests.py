@@ -10,6 +10,9 @@ import repro.core.multi.fdgraph
 import repro.core.thresholds
 import repro.dataset.relation
 import repro.generator.vocab
+import repro.serve.cache
+import repro.serve.fastpath
+import repro.serve.service
 import repro.utils.unionfind
 
 MODULES = [
@@ -19,6 +22,9 @@ MODULES = [
     repro.core.thresholds,
     repro.dataset.relation,
     repro.generator.vocab,
+    repro.serve.cache,
+    repro.serve.fastpath,
+    repro.serve.service,
     repro.utils.unionfind,
 ]
 

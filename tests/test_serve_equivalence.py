@@ -1,0 +1,267 @@
+"""Property suite: the serve path is byte-identical to batch repair.
+
+The serving contract of ``repro.serve`` is *exact equivalence* — the
+indexed hot path (:class:`IndexedRepairer`) and the micro-batched
+service must produce the same repaired record, the same edits, and the
+same absorb decisions as a lockstep
+:meth:`IncrementalRepairer.repair_record`, for arbitrary records. The
+hypothesis suites below drive both paths with the same generated
+record stream (absorb mode included, where each absorb grows the
+fitted sets and forces index rebuilds) and assert equality at every
+step, plus the ``save_model``/``load_model`` roundtrip preserving the
+absorb counters.
+"""
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import (
+    IncrementalRepairer,
+    load_model,
+    save_model,
+)
+from repro.dataset.citizens import (
+    CITIZENS_FDS,
+    CITIZENS_THRESHOLDS,
+    citizens_clean,
+)
+from repro.generator.hosp import HOSP_FDS, generate_hosp, hosp_thresholds
+from repro.serve import IndexedRepairer, RepairService
+
+REFERENCE = generate_hosp(300, rng=44, n_facilities=10, n_measures=5)
+ATTRS = list(REFERENCE.schema.names)
+NUMERIC_ATTRS = frozenset(
+    a for a in ATTRS if REFERENCE.schema.kind_of(a) == "numeric"
+)
+
+_FACILITY_ATTRS = (
+    "ProviderNumber", "HospitalName", "Address", "City", "State",
+    "ZipCode", "CountyName", "PhoneNumber", "HospitalType",
+    "HospitalOwner", "EmergencyService",
+)
+
+
+def fresh_pair():
+    """(batch, indexed) repairers fitted identically on the reference."""
+    batch = IncrementalRepairer(
+        HOSP_FDS, thresholds=hosp_thresholds(), absorb=True
+    ).fit(REFERENCE)
+    indexed = IndexedRepairer(
+        IncrementalRepairer(
+            HOSP_FDS, thresholds=hosp_thresholds(), absorb=True
+        ).fit(REFERENCE)
+    )
+    return batch, indexed
+
+
+def assert_lockstep(batch, indexed, records):
+    """Drive both paths with *records*; equality must hold throughout."""
+    for record in records:
+        expect = batch.repair_record(dict(record))
+        got = indexed.repair_record(dict(record))
+        assert got == expect
+    assert indexed.records_seen == batch.records_seen
+    assert indexed.records_repaired == batch.records_repaired
+    assert indexed.records_absorbed == batch.records_absorbed
+
+
+# one reusable record strategy: a reference row with arbitrary
+# type-correct cell rewrites — typos, unseen strings, swapped values,
+# numeric outliers, or no change
+@st.composite
+def mutated_records(draw):
+    row = draw(st.integers(min_value=0, max_value=len(REFERENCE) - 1))
+    record = dict(REFERENCE.as_record(row))
+    n_edits = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_edits):
+        attr = draw(st.sampled_from(ATTRS))
+        if attr in NUMERIC_ATTRS:
+            record[attr] = draw(
+                st.floats(
+                    min_value=-1e4,
+                    max_value=1e4,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+        else:
+            mode = draw(st.sampled_from(["typo", "unseen", "swap"]))
+            value = str(record[attr])
+            if mode == "typo" and value:
+                pos = draw(
+                    st.integers(min_value=0, max_value=len(value) - 1)
+                )
+                char = draw(
+                    st.characters(
+                        min_codepoint=33, max_codepoint=0x2FF
+                    )
+                )
+                record[attr] = value[:pos] + char + value[pos + 1 :]
+            elif mode == "unseen":
+                record[attr] = draw(st.text(min_size=0, max_size=24))
+            else:
+                other = draw(
+                    st.integers(
+                        min_value=0, max_value=len(REFERENCE) - 1
+                    )
+                )
+                record[attr] = REFERENCE.as_record(other)[attr]
+    return record
+
+
+class TestServeEqualsBatch:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.lists(mutated_records(), min_size=1, max_size=6))
+    def test_arbitrary_record_streams(self, records):
+        batch, indexed = fresh_pair()
+        assert_lockstep(batch, indexed, records)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        suffix=st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=7,
+            max_size=12,
+        ),
+        typo_pos=st.integers(min_value=0, max_value=6),
+    )
+    def test_absorb_then_repair_toward_absorbed_target(
+        self, suffix, typo_pos
+    ):
+        """Absorbed entities become targets on both paths identically.
+
+        A provably-far facility record is absorbed (growing the fitted
+        sets and invalidating the serve indexes); a corrupted copy must
+        then be repaired *onto the absorbed entity* by both paths.
+        """
+        batch, indexed = fresh_pair()
+        fresh = dict(REFERENCE.as_record(0))
+        for attr in _FACILITY_ATTRS:
+            fresh[attr] = f"{fresh[attr]}-{suffix}"
+        corrupted = dict(fresh)
+        city = corrupted["City"]
+        pos = min(typo_pos, len(city) - 1)
+        corrupted["City"] = city[:pos] + "!" + city[pos + 1 :]
+        assert_lockstep(batch, indexed, [fresh, corrupted])
+        assert indexed.records_absorbed == batch.records_absorbed >= 1
+
+    def test_micro_batched_service_matches_batch(self):
+        """The full async pipeline preserves per-record equivalence."""
+        batch = IncrementalRepairer(
+            HOSP_FDS, thresholds=hosp_thresholds(), absorb=True
+        ).fit(REFERENCE)
+        service = RepairService()
+        service.attach_model(
+            IncrementalRepairer(
+                HOSP_FDS, thresholds=hosp_thresholds(), absorb=True
+            ).fit(REFERENCE)
+        )
+        records = []
+        for i in range(40):
+            record = dict(REFERENCE.as_record(i % len(REFERENCE)))
+            if i % 3 == 0:
+                record["City"] = record["City"][:-1] + "x"
+            if i % 7 == 0:
+                record["ZipCode"] = record["ZipCode"] + "q"
+            records.append(record)
+
+        async def scenario():
+            async with service:
+                return await asyncio.gather(
+                    *(service.repair(r) for r in records)
+                )
+
+        served = asyncio.run(scenario())
+        for record, response in zip(records, served):
+            repaired, edits = batch.repair_record(dict(record))
+            assert response["record"] == repaired
+            assert [
+                (e["attribute"], e["old"], e["new"])
+                for e in response["edits"]
+            ] == [(e.attribute, e.old, e.new) for e in edits]
+
+
+class TestPersistenceRoundtrip:
+    def test_roundtrip_preserves_absorb_counters(self, tmp_path):
+        repairer = IncrementalRepairer(
+            HOSP_FDS, thresholds=hosp_thresholds(), absorb=True
+        ).fit(REFERENCE)
+        fresh = dict(REFERENCE.as_record(0))
+        for attr in _FACILITY_ATTRS:
+            fresh[attr] = fresh[attr] + "-zzzzzzz"
+        repairer.repair_record(fresh)  # absorbed
+        dirty = dict(REFERENCE.as_record(1))
+        dirty["City"] = dirty["City"][:-1] + "x"
+        repairer.repair_record(dirty)  # repaired
+        assert repairer.records_absorbed == 1
+
+        path = tmp_path / "model.json"
+        save_model(repairer, path)
+        revived = load_model(path)
+        assert revived.records_seen == repairer.records_seen
+        assert revived.records_repaired == repairer.records_repaired
+        assert revived.records_absorbed == repairer.records_absorbed
+
+        # the revived model serves identically — absorbed entity included
+        for i in range(20):
+            record = dict(REFERENCE.as_record(i % len(REFERENCE)))
+            if i % 2:
+                record["PhoneNumber"] = record["PhoneNumber"][:-1] + "z"
+            assert revived.repair_record(dict(record)) == (
+                repairer.repair_record(dict(record))
+            )
+        near_absorbed = dict(fresh)
+        near_absorbed["City"] = near_absorbed["City"][:-1] + "!"
+        assert revived.repair_record(dict(near_absorbed)) == (
+            repairer.repair_record(dict(near_absorbed))
+        )
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.lists(mutated_records(), min_size=1, max_size=4))
+    def test_revived_model_serves_like_live_indexed(self, records):
+        live = IncrementalRepairer(
+            HOSP_FDS, thresholds=hosp_thresholds(), absorb=True
+        ).fit(REFERENCE)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "model.json"
+            save_model(live, path)
+            revived_indexed = IndexedRepairer(load_model(path))
+        assert_lockstep(live, revived_indexed, records)
+
+
+class TestCitizensSmoke:
+    """A second schema keeps the equivalence claim dataset-independent."""
+
+    def test_citizens_lockstep(self):
+        batch = IncrementalRepairer(
+            CITIZENS_FDS, thresholds=CITIZENS_THRESHOLDS
+        ).fit(citizens_clean())
+        indexed = IndexedRepairer(
+            IncrementalRepairer(
+                CITIZENS_FDS, thresholds=CITIZENS_THRESHOLDS
+            ).fit(citizens_clean())
+        )
+        relation = citizens_clean()
+        records = []
+        for i in range(len(relation)):
+            record = dict(relation.as_record(i))
+            records.append(dict(record))
+            record["City"] = record["City"][:-1] + "x"
+            records.append(record)
+        assert_lockstep(batch, indexed, records)

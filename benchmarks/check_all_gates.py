@@ -1,0 +1,179 @@
+"""Run every CI gate in this directory and emit one consolidated verdict.
+
+CI used to call the seven ``check_*_gate.py`` scripts as seven workflow
+steps, each appending its own ``$GITHUB_STEP_SUMMARY`` block; reading a
+red run meant scrolling eight sections. This runner imports each gate
+module, calls its ``main()`` in-process with the step summary
+suppressed, and appends a **single** verdict table:
+
+| gate | verdict | detail |
+|---|---|---|
+| kernel | ✅ PASS | ... |
+
+Per-gate console output is passed through unchanged, so logs keep the
+full detail each gate prints. The exit code aggregates the shared
+conventions (``benchmarks/_gate.py``): ``EXIT_REGRESSION`` (1) when any
+gate regressed, else ``EXIT_MISSING`` (2) when any gate could not run,
+else ``EXIT_PASS`` (0). A gate that raises is reported as MISSING (the
+pipeline is broken, not the code under test).
+
+Usage::
+
+    python benchmarks/check_all_gates.py [--gates kernel,perf,...]
+
+``--gates`` selects a comma-separated subset (default: all, in
+dependency-light-to-heavy order). Unknown names fail fast with the
+known list.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+import io
+import os
+import sys
+import traceback
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    step_summary,
+)
+
+HERE = Path(__file__).resolve().parent
+
+#: gate name -> module file. Order is the run (and table) order.
+GATES: Dict[str, str] = {
+    "kernel": "check_kernel_gate.py",
+    "simjoin": "check_simjoin_gate.py",
+    "search": "check_search_gate.py",
+    "perf": "check_perf_gate.py",
+    "substrate": "check_substrate_gate.py",
+    "sched": "check_sched_gate.py",
+    "serve": "check_serve_gate.py",
+    "scenario": "check_scenario_gate.py",
+}
+
+_ICONS = {
+    EXIT_PASS: "✅ PASS",
+    EXIT_REGRESSION: "❌ FAIL",
+    EXIT_MISSING: "⚠️ MISSING",
+}
+
+
+def run_gate(name: str) -> Tuple[int, str]:
+    """(exit code, captured output) of one gate, summary suppressed.
+
+    The gate module is imported fresh from its file and its ``main()``
+    called in-process; ``GITHUB_STEP_SUMMARY`` is unset for the
+    duration so the per-gate block does not compete with the
+    consolidated table this runner writes.
+    """
+    module_file = HERE / GATES[name]
+    buffer = io.StringIO()
+    saved = os.environ.pop("GITHUB_STEP_SUMMARY", None)
+    try:
+        with contextlib.redirect_stdout(buffer), \
+                contextlib.redirect_stderr(buffer):
+            try:
+                spec = importlib.util.spec_from_file_location(
+                    f"_gate_run_{name}", module_file
+                )
+                module = importlib.util.module_from_spec(spec)
+                spec.loader.exec_module(module)
+                if name == "kernel":  # its main() takes no argv
+                    code = int(module.main())
+                else:
+                    code = int(module.main([str(module_file)]))
+            except SystemExit as exc:  # a gate that sys.exit()s early
+                code = int(exc.code or 0)
+            except Exception:
+                traceback.print_exc(file=buffer)
+                code = EXIT_MISSING
+    finally:
+        if saved is not None:
+            os.environ["GITHUB_STEP_SUMMARY"] = saved
+    return code, buffer.getvalue()
+
+
+def detail_line(output: str) -> str:
+    """The most informative single line of a gate's console output.
+
+    Prefers the last ``gate: ...`` line that is not the bare verdict —
+    every gate prints its measurements in that shape before deciding.
+    """
+    informative = [
+        line[len("gate: "):].strip()
+        for line in output.splitlines()
+        if line.startswith("gate: ")
+        and line.strip() not in ("gate: PASS", "gate: FAIL")
+    ]
+    return informative[-1].replace("|", "\\|") if informative else ""
+
+
+def consolidated_table(results: Dict[str, Tuple[int, str]]) -> str:
+    lines = [
+        "### gate suite",
+        "",
+        "| gate | verdict | detail |",
+        "|---|---|---|",
+    ]
+    for name, (code, output) in results.items():
+        verdict = _ICONS.get(code, f"exit {code}")
+        lines.append(f"| {name} | {verdict} | {detail_line(output)} |")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str]) -> int:
+    selected: List[str] = list(GATES)
+    rest = list(argv[1:])
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--gates":
+            if not rest:
+                print("--gates requires a value", file=sys.stderr)
+                return EXIT_MISSING
+            selected = [n.strip() for n in rest.pop(0).split(",") if n.strip()]
+        else:
+            print(f"unknown argument {arg!r}", file=sys.stderr)
+            return EXIT_MISSING
+    unknown = [n for n in selected if n not in GATES]
+    if unknown:
+        print(
+            f"unknown gate(s) {unknown}; known: {', '.join(GATES)}",
+            file=sys.stderr,
+        )
+        return EXIT_MISSING
+
+    results: Dict[str, Tuple[int, str]] = {}
+    for name in selected:
+        code, output = run_gate(name)
+        results[name] = (code, output)
+        banner = _ICONS.get(code, f"exit {code}")
+        print(f"=== {name} gate: {banner} " + "=" * max(1, 50 - len(name)))
+        sys.stdout.write(output if output.endswith("\n") else output + "\n")
+
+    step_summary(consolidated_table(results))
+    codes = [code for code, _ in results.values()]
+    failed = [n for n, (c, _) in results.items() if c == EXIT_REGRESSION]
+    missing = [n for n, (c, _) in results.items() if c == EXIT_MISSING]
+    print(
+        f"gate suite: {len(codes) - len(failed) - len(missing)} pass, "
+        f"{len(failed)} fail ({', '.join(failed) or '-'}), "
+        f"{len(missing)} missing ({', '.join(missing) or '-'})"
+    )
+    if failed:
+        return EXIT_REGRESSION
+    if missing:
+        return EXIT_MISSING
+    return EXIT_PASS
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

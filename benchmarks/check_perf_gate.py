@@ -93,12 +93,14 @@ def main(argv: list) -> int:
     try:
         trajectory = json.loads(path.read_text())
         # Only timed repair runs count here; side-channel entries (e.g.
-        # the tax_substrate memory/traffic entry, or serving-layer
-        # entries from BENCH_serve.json) have their own gates.
+        # the tax_substrate memory/traffic entry, serving-layer entries
+        # from BENCH_serve.json, or detector scenario matrices from
+        # BENCH_scenarios.json) have their own gates.
         runs = [
             e
             for e in trajectory
-            if "wall_seconds" in e and e.get("kind") != "serve"
+            if "wall_seconds" in e
+            and e.get("kind") not in ("serve", "scenario")
         ]
         latest = runs[-1]
         baseline = find_baseline(runs, latest)

@@ -1,0 +1,193 @@
+"""CI gate over the ``BENCH_scenarios.json`` detector-matrix trajectory.
+
+Compares the **latest** ``kind="scenario"`` entry the matrix runner
+appended (``benchmarks/_scenario_matrix.py``) against the **baseline**
+— the first entry at the same scale and tuple count (the committed
+one). Four checks:
+
+1. **Coverage** — the matrix must span at least ``MIN_DETECTORS``
+   detectors and ``MIN_DATASETS`` datasets; a detector or scenario that
+   silently drops out of the grid is a pipeline regression, not a
+   smaller PASS.
+2. **Advisory contract** — the FD anchor's two output hashes
+   (detectors off / every detector on) must be identical. Detectors
+   annotate the violation graph; they never change the repair.
+3. **Detection quality** — the target-diagonal F1 of every scenario
+   (each detector on the error profile it was built for) must not drop
+   more than ``F1_TOLERANCE`` below the baseline's.
+4. **Repair quality** — the FD anchor's repair F1 must not drop more
+   than ``F1_TOLERANCE`` below the baseline's.
+
+Exit status follows the shared gate conventions (``benchmarks/_gate.py``):
+0 pass, 1 regression, 2 missing/malformed trajectory. A per-scenario
+P/R/F1 table is appended to ``$GITHUB_STEP_SUMMARY`` when set.
+
+Usage::
+
+    python benchmarks/check_scenario_gate.py [path/to/BENCH_scenarios.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import (  # noqa: E402
+    EXIT_MISSING,
+    EXIT_PASS,
+    EXIT_REGRESSION,
+    ROOT,
+    verdict_summary,
+)
+
+DEFAULT_PATH = ROOT / "BENCH_scenarios.json"
+MIN_DETECTORS = 3
+MIN_DATASETS = 3
+#: absolute F1 drop allowed before the gate trips (the detectors are
+#: deterministic on the seeded workloads, so any real drop is a code
+#: change, but CI should not flap on a future stochastic scenario)
+F1_TOLERANCE = 0.02
+
+
+def find_baseline(entries: List[dict], latest: dict) -> dict:
+    """First entry of the same workload shape as *latest*."""
+    for entry in entries:
+        if (
+            entry.get("scale") == latest.get("scale")
+            and entry.get("n_tuples") == latest.get("n_tuples")
+        ):
+            return entry
+    return latest
+
+
+def target_f1(entry: dict) -> Dict[str, float]:
+    """scenario name -> its target detector's F1."""
+    return {
+        cell["scenario"]: float(cell["f1"])
+        for cell in entry.get("matrix", ())
+        if cell.get("target")
+    }
+
+
+def matrix_table(entry: dict) -> str:
+    """Markdown P/R/F1 table of the latest matrix for the step summary."""
+    lines = [
+        "| scenario | dataset | detector | P | R | F1 | flagged |",
+        "|---|---|---|---:|---:|---:|---:|",
+    ]
+    for cell in entry.get("matrix", ()):
+        name = cell["detector"] + (" *" if cell.get("target") else "")
+        lines.append(
+            f"| {cell['scenario']} | {cell['dataset']} | {name} | "
+            f"{cell['precision']:.3f} | {cell['recall']:.3f} | "
+            f"{cell['f1']:.3f} | {cell['flagged_cells']} |"
+        )
+    lines.append("")
+    lines.append("`*` = the scenario's target detector")
+    return "\n".join(lines)
+
+
+def check(latest: dict, baseline: dict) -> Tuple[bool, List[str]]:
+    """(passed, failure messages) of all four checks."""
+    failures: List[str] = []
+
+    detectors = set(latest.get("detectors", ()))
+    datasets = set(latest.get("datasets", ()))
+    if len(detectors) < MIN_DETECTORS:
+        failures.append(
+            f"matrix covers {len(detectors)} detector(s) "
+            f"({sorted(detectors)}), need >= {MIN_DETECTORS}"
+        )
+    if len(datasets) < MIN_DATASETS:
+        failures.append(
+            f"matrix covers {len(datasets)} dataset(s) "
+            f"({sorted(datasets)}), need >= {MIN_DATASETS}"
+        )
+
+    anchor = latest.get("fd_repair") or {}
+    if not anchor.get("byte_identical"):
+        failures.append(
+            "FD repair output hash diverged with detectors enabled: "
+            f"`{anchor.get('output_hash_plain')}` vs "
+            f"`{anchor.get('output_hash_detectors')}` — the advisory "
+            "layer influenced the search"
+        )
+
+    base_diag = target_f1(baseline)
+    for scenario, f1 in sorted(target_f1(latest).items()):
+        base = base_diag.get(scenario)
+        if base is not None and f1 < base - F1_TOLERANCE:
+            failures.append(
+                f"{scenario}: target-detector F1 {f1:.3f} dropped below "
+                f"baseline {base:.3f} - {F1_TOLERANCE}"
+            )
+
+    base_anchor = baseline.get("fd_repair") or {}
+    base_f1: Optional[float] = base_anchor.get("f1")
+    last_f1: Optional[float] = anchor.get("f1")
+    if base_f1 is not None and last_f1 is not None:
+        if last_f1 < base_f1 - F1_TOLERANCE:
+            failures.append(
+                f"fd-noise repair F1 {last_f1:.3f} dropped below "
+                f"baseline {base_f1:.3f} - {F1_TOLERANCE}"
+            )
+
+    return not failures, failures
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        print(
+            f"gate: {path} not found; run benchmarks/_scenario_matrix.py "
+            "first",
+            file=sys.stderr,
+        )
+        verdict_summary("scenario gate", "MISSING", f"`{path.name}` not found")
+        return EXIT_MISSING
+    try:
+        trajectory = json.loads(path.read_text())
+        entries = [e for e in trajectory if e.get("kind") == "scenario"]
+        latest = entries[-1]
+        baseline = find_baseline(entries, latest)
+    except (ValueError, KeyError, IndexError, TypeError) as exc:
+        print(
+            f"gate: cannot read scenario entries: {exc}", file=sys.stderr
+        )
+        verdict_summary(
+            "scenario gate", "MISSING", f"malformed `{path.name}`: {exc}"
+        )
+        return EXIT_MISSING
+
+    passed, failures = check(latest, baseline)
+    diagonal = ", ".join(
+        f"{name}={f1:.3f}" for name, f1 in sorted(target_f1(latest).items())
+    )
+    print(
+        f"gate: {len(latest.get('detectors', ()))} detector(s) x "
+        f"{len(latest.get('scenarios', ()))} scenario(s) on "
+        f"{latest.get('n_tuples')} tuples ({latest.get('scale')}) — "
+        f"target-diagonal F1 {diagonal}; fd repair F1 "
+        f"{(latest.get('fd_repair') or {}).get('f1')}"
+    )
+    detail = matrix_table(latest)
+    if passed:
+        print("gate: PASS")
+        verdict_summary("scenario gate", "PASS", detail)
+        return EXIT_PASS
+    for failure in failures:
+        print(f"gate: FAIL — {failure}", file=sys.stderr)
+    verdict_summary(
+        "scenario gate",
+        "FAIL",
+        "\n".join(f"- {failure}" for failure in failures) + "\n\n" + detail,
+    )
+    return EXIT_REGRESSION
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -82,6 +82,14 @@ from repro.dataset import (
     read_csv,
     write_csv,
 )
+from repro.detect import (
+    DETECTORS,
+    DetectorContext,
+    DetectorRegistry,
+    DetectorVerdict,
+    register_detector,
+    run_detectors,
+)
 from repro.exec import (
     DegradedRepairWarning,
     ExecutionStats,
@@ -129,6 +137,13 @@ __all__ = [
     # distances and observability
     "DistanceModel",
     "RunReport",
+    # error detectors (docs/scenarios.md)
+    "DETECTORS",
+    "DetectorRegistry",
+    "DetectorContext",
+    "DetectorVerdict",
+    "register_detector",
+    "run_detectors",
     # serving (repair-as-a-service, docs/serving.md)
     "RepairService",
     "ServeConfig",

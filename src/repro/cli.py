@@ -166,6 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--detectors",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "comma-separated error detectors to run ahead of repair, "
+            "e.g. 'fd,null,regex,outlier' (registry names; see "
+            "docs/scenarios.md). Verdicts are advisory: they annotate "
+            "the violation graph and the stats, never the repair"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-component execution statistics",
@@ -367,6 +378,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print_edits = args.edits or args.report is True
     trace = args.trace or report_path is not None
 
+    detectors = (
+        tuple(
+            name.strip()
+            for name in args.detectors.split(",")
+            if name.strip()
+        )
+        if args.detectors
+        else None
+    )
     try:
         config = RepairConfig(
             algorithm=args.algorithm,
@@ -383,6 +403,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_subtasks=args.max_subtasks,
             bound_exchange=not args.no_bound_exchange,
             trace=trace,
+            detectors=detectors or None,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -406,6 +427,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         describe = getattr(result.stats, "describe", None)
         if describe is not None:
             print(f"execution: {describe()}")
+        flagged = result.stats.get("detector_cells_flagged")
+        if flagged:
+            print("detectors:")
+            for name, count in sorted(flagged.items()):
+                print(f"  {name}: {count} cell(s) flagged")
         for phase, secs in sorted(result.timings.items()):
             print(f"  {phase}: {secs:.3f}s")
         pruning = getattr(result.stats, "pruning", None)

@@ -17,6 +17,7 @@ from repro.core.constraints import FD
 from repro.core.distances import DistanceModel
 from repro.core.violation import FTViolation, ft_violation_pairs, group_patterns
 from repro.dataset.relation import Cell, Relation
+from repro.detect.base import DetectorVerdict, FlagMap, merge_verdicts
 
 
 @dataclass
@@ -42,6 +43,12 @@ class DetectionReport:
     #: the :class:`~repro.obs.RunReport` of this detection when run with
     #: ``trace=True`` through the engine; ``None`` otherwise
     run_report: object = None
+    #: detector name -> :class:`~repro.detect.DetectorVerdict`, filled
+    #: by the engine when ``config.detectors`` lists detectors beyond
+    #: the FD path (``docs/scenarios.md``); empty otherwise
+    detector_verdicts: Dict[str, DetectorVerdict] = field(
+        default_factory=dict
+    )
 
     @property
     def total_violations(self) -> int:
@@ -77,8 +84,20 @@ class DetectionReport:
                     cells.add((tid, attr))
         return cells
 
+    @property
+    def flagged_cells(self) -> FlagMap:
+        """cell -> detector names, merged over :attr:`detector_verdicts`.
+
+        Covers the configured non-FD detectors only; the FD path's
+        suspects live in :attr:`suspects` / :meth:`suspect_cells`.
+        """
+        return merge_verdicts(self.detector_verdicts.values())
+
     def is_clean(self) -> bool:
-        """True when no constraint has any FT-violation."""
+        """True when no constraint has any FT-violation and no
+        configured detector flagged a cell."""
+        if any(len(v.cells) for v in self.detector_verdicts.values()):
+            return False
         return self.total_violations == 0
 
     def summary(self) -> str:
@@ -95,6 +114,8 @@ class DetectionReport:
                 f"{len(self.violations[name])} violating pattern pair(s), "
                 f"{len(self.likely_errors.get(name, ()))} likely error tuple(s)"
             )
+        for name in sorted(self.detector_verdicts):
+            lines.append(f"  {self.detector_verdicts[name].summary()}")
         return "\n".join(lines)
 
 

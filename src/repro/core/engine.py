@@ -44,6 +44,7 @@ from repro.obs import (
     RunReport,
     Tracer,
     activate,
+    add_counters,
     build_report,
     repair_output_hash,
     span,
@@ -313,6 +314,40 @@ class Repairer:
 
         return RepairExecutor(self.config)
 
+    # -- detectors -------------------------------------------------------
+    def _extra_detectors(self) -> Tuple[str, ...]:
+        """Configured detector names beyond the built-in FD path."""
+        spec = self.config.detectors
+        if not spec:
+            return ()
+        return tuple(name for name in spec if name != "fd")
+
+    def _run_detectors(self, relation: Relation, model, thresholds):
+        """Run the configured non-FD detectors; [] when none.
+
+        Emits one ``detector_cells_flagged.<name>`` counter per
+        detector into the active tracer (``docs/observability.md``).
+        """
+        names = self._extra_detectors()
+        if not names:
+            return []
+        from repro.detect import DetectorContext, run_detectors
+
+        context = DetectorContext(
+            fds=self.fds,
+            model=model,
+            thresholds=thresholds,
+            seed=self.config.seed,
+        )
+        verdicts = run_detectors(relation, names, context)
+        add_counters(
+            {
+                f"detector_cells_flagged.{v.detector}": len(v.cells)
+                for v in verdicts
+            }
+        )
+        return verdicts
+
     # -- observability ---------------------------------------------------
     def _tracer(self, relation: Relation, operation: str) -> Optional[Tracer]:
         """A fresh run tracer when ``config.trace`` is on, else ``None``."""
@@ -381,7 +416,19 @@ class Repairer:
                 model = self.build_model(relation)
             with watch.measure("thresholds"), span("thresholds"):
                 thresholds = self.resolve_thresholds(relation, model)
+            verdicts = []
+            if self._extra_detectors():
+                with watch.measure("detectors"), span("detectors"):
+                    verdicts = self._run_detectors(
+                        relation, model, thresholds
+                    )
             report = self._executor().detect(relation, self.fds, thresholds)
+        for verdict in verdicts:
+            report.detector_verdicts[verdict.detector] = verdict
+        if verdicts:
+            report.stats["detector_cells_flagged"] = {
+                v.detector: len(v.cells) for v in verdicts
+            }
         report.timings.update(watch.totals)
         report.run_report = self._finish_report(
             tracer,
@@ -402,7 +449,19 @@ class Repairer:
                 model = self.build_model(relation)
             with watch.measure("thresholds"), span("thresholds"):
                 thresholds = self.resolve_thresholds(relation, model)
-            result = self._executor().repair(relation, self.fds, thresholds)
+            verdicts = []
+            if self._extra_detectors():
+                with watch.measure("detectors"), span("detectors"):
+                    verdicts = self._run_detectors(
+                        relation, model, thresholds
+                    )
+            result = self._executor().repair(
+                relation, self.fds, thresholds, verdicts=verdicts or None
+            )
+        if verdicts:
+            result.stats["detector_cells_flagged"] = {
+                v.detector: len(v.cells) for v in verdicts
+            }
         result.timings.update(watch.totals)
         result.run_report = self._finish_report(
             tracer,

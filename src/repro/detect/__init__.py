@@ -1,0 +1,97 @@
+"""Pluggable error detection (``docs/scenarios.md``).
+
+The paper's repair model detects errors through FT-FD violations; real
+pipelines meet error *sources* FDs never see — missing-value bursts,
+format drift, numeric outliers. This package treats detection as a
+signal layer (the HoloClean framing): detectors register under short
+names (:data:`DETECTORS`, :func:`register_detector`), each emits a
+typed :class:`DetectorVerdict` cell set, and verdicts merge into one
+provenance map that annotates the violation graph ahead of search.
+
+Annotations are advisory — the FD cost model still decides every
+repair, byte-identically — but they make the suspect surface visible:
+``RepairConfig(detectors=("fd", "null", "outlier"))``, CLI
+``--detectors``, ``detector_cells_flagged`` counters, and the
+scenario-matrix benchmark (``benchmarks/_scenario_matrix.py``) that
+scores every detector on every error profile.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Iterable, List, Optional, Union
+
+from repro.dataset.relation import Relation
+from repro.detect.base import (
+    Detector,
+    DetectorContext,
+    DetectorVerdict,
+    FlagMap,
+    install_flags,
+    installed_flags,
+    merge_verdicts,
+    pack_flags,
+    unpack_flags,
+)
+from repro.detect.builtin import (
+    DEFAULT_NULL_TOKENS,
+    FdViolationDetector,
+    NullDetector,
+    NumericOutlierDetector,
+    RegexFormatDetector,
+    format_signature,
+)
+from repro.detect.registry import (
+    DETECTORS,
+    DetectorRegistry,
+    register_detector,
+)
+
+
+def run_detectors(
+    relation: Relation,
+    detectors: Iterable[Union[str, Detector]],
+    context: Optional[DetectorContext] = None,
+    registry: Optional[DetectorRegistry] = None,
+) -> List[DetectorVerdict]:
+    """Run each detector (name or instance) on *relation*, in order.
+
+    Names resolve against *registry* (the default registry when
+    omitted). Each verdict is stamped with its wall seconds. The merged
+    provenance map is one :func:`merge_verdicts` call away.
+    """
+    registry = registry if registry is not None else DETECTORS
+    verdicts: List[DetectorVerdict] = []
+    for spec in detectors:
+        detector = registry.create(spec)
+        start = time.perf_counter()
+        verdict = detector.flag(relation, context)
+        seconds = time.perf_counter() - start
+        if verdict.seconds == 0.0:
+            verdict = replace(verdict, seconds=seconds)
+        verdicts.append(verdict)
+    return verdicts
+
+
+__all__ = [
+    "DEFAULT_NULL_TOKENS",
+    "DETECTORS",
+    "Detector",
+    "DetectorContext",
+    "DetectorRegistry",
+    "DetectorVerdict",
+    "FdViolationDetector",
+    "FlagMap",
+    "NullDetector",
+    "NumericOutlierDetector",
+    "RegexFormatDetector",
+    "format_signature",
+    "install_flags",
+    "installed_flags",
+    "merge_verdicts",
+    "pack_flags",
+    "register_detector",
+    "run_detectors",
+    "unpack_flags",
+]

@@ -1,0 +1,210 @@
+"""Typed detector verdicts and the detector contract.
+
+A *detector* inspects one relation and emits a
+:class:`DetectorVerdict` — an immutable, typed set of suspect cells
+with provenance. Detectors are deliberately decoupled from the repair
+model: the paper's FT-FD detection is one detector among several
+(:class:`~repro.detect.builtin.FdViolationDetector`), alongside
+signal-style detectors in the HoloClean tradition (null tokens, format
+conformance, numeric outliers). Verdicts from any mix of detectors
+merge into one ``cell -> {detector names}`` map
+(:func:`merge_verdicts`) that annotates the violation graph ahead of
+search (:meth:`repro.core.graph.ViolationGraph.merge_verdicts`).
+
+The merge is **advisory**: flagged vertices carry provenance for
+review, reporting and the scenario matrix, but never change which
+repair the cost model selects — the FD-only repair stays byte-identical
+whether detectors are configured or not (``docs/scenarios.md``).
+
+:func:`installed_flags` / :func:`install_flags` carry the merged flag
+map across the executor boundary on a context variable, so
+:meth:`ViolationGraph.build` can consult it without threading a
+parameter through every algorithm signature.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.dataset.relation import Cell, Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.constraints import FD
+    from repro.core.distances import DistanceModel
+
+
+@dataclass(frozen=True)
+class DetectorVerdict:
+    """What one detector found on one relation.
+
+    ``cells`` is the set of (tid, attribute) cells the detector flags
+    as suspect. Verdicts are frozen values: safe to cache, ship, and
+    merge without aliasing surprises.
+    """
+
+    detector: str
+    relation_size: int
+    cells: FrozenSet[Cell]
+    #: wall seconds the detector spent (0.0 when not measured)
+    seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __bool__(self) -> bool:
+        # An empty verdict is still a verdict: "nothing suspect".
+        return True
+
+    @property
+    def tids(self) -> Set[int]:
+        """Tuples owning at least one flagged cell."""
+        return {tid for tid, _ in self.cells}
+
+    def by_attribute(self) -> Dict[str, Set[int]]:
+        """attribute -> flagged tuple ids (for per-column review)."""
+        out: Dict[str, Set[int]] = {}
+        for tid, attr in self.cells:
+            out.setdefault(attr, set()).add(tid)
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"{self.detector}: {len(self.cells)} cell(s) flagged over "
+            f"{len(self.tids)} tuple(s) of {self.relation_size}"
+        )
+
+
+@dataclass
+class DetectorContext:
+    """Everything a detector may (but need not) consult.
+
+    Only :class:`~repro.detect.builtin.FdViolationDetector` requires
+    FDs; the signal detectors ignore the context entirely. ``model``
+    and ``thresholds`` are optional even for the FD detector — it
+    derives them from the data when absent, exactly like the engine.
+    """
+
+    fds: Sequence["FD"] = ()
+    model: Optional["DistanceModel"] = None
+    thresholds: Optional[Mapping["FD", float]] = None
+    seed: object = None
+
+
+class Detector:
+    """Base class of every registered detector.
+
+    Subclasses set :attr:`name` (the registry key, also stamped on
+    verdicts) and implement :meth:`flag`. Detectors must not mutate the
+    relation.
+    """
+
+    name: str = "detector"
+
+    def flag(
+        self, relation: Relation, context: Optional[DetectorContext] = None
+    ) -> DetectorVerdict:
+        """Inspect *relation* and return the verdict."""
+        raise NotImplementedError
+
+    def verdict(
+        self, relation: Relation, cells: Iterable[Cell], seconds: float = 0.0
+    ) -> DetectorVerdict:
+        """Package *cells* as this detector's verdict."""
+        return DetectorVerdict(
+            detector=self.name,
+            relation_size=len(relation),
+            cells=frozenset(cells),
+            seconds=seconds,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: cell -> names of the detectors that flagged it
+FlagMap = Dict[Cell, FrozenSet[str]]
+
+
+def merge_verdicts(verdicts: Iterable[DetectorVerdict]) -> FlagMap:
+    """Union verdict cell sets into one provenance map.
+
+    Overlapping verdicts merge their detector names per cell, so a cell
+    flagged by both the null and the outlier detector maps to
+    ``frozenset({"null", "outlier"})``. Empty verdicts contribute
+    nothing; an empty iterable yields an empty map.
+    """
+    staged: Dict[Cell, Set[str]] = {}
+    for verdict in verdicts:
+        for cell in verdict.cells:
+            staged.setdefault(cell, set()).add(verdict.detector)
+    return {cell: frozenset(names) for cell, names in staged.items()}
+
+
+def pack_flags(flags: Mapping[Cell, AbstractSet[str]]) -> Tuple:
+    """A deterministic, picklable encoding of a flag map (for tasks)."""
+    return tuple(
+        (tid, attr, tuple(sorted(names)))
+        for (tid, attr), names in sorted(flags.items())
+    )
+
+
+def unpack_flags(packed: Sequence[Tuple[int, str, Tuple[str, ...]]]) -> FlagMap:
+    """Inverse of :func:`pack_flags`."""
+    return {
+        (tid, attr): frozenset(names) for tid, attr, names in packed
+    }
+
+
+# ----------------------------------------------------------------------
+# The ambient flag map (executor -> graph build)
+# ----------------------------------------------------------------------
+_ACTIVE_FLAGS: ContextVar[Optional[FlagMap]] = ContextVar(
+    "repro_detect_flags", default=None
+)
+
+
+@contextmanager
+def install_flags(flags: Optional[FlagMap]) -> Iterator[None]:
+    """Make *flags* the ambient flag map for the block.
+
+    ``None`` or an empty map installs nothing (graph builds skip the
+    merge entirely — the FD-only fast path).
+    """
+    token = _ACTIVE_FLAGS.set(flags or None)
+    try:
+        yield
+    finally:
+        _ACTIVE_FLAGS.reset(token)
+
+
+def installed_flags() -> Optional[FlagMap]:
+    """The ambient flag map, or ``None`` when no detectors are active."""
+    return _ACTIVE_FLAGS.get()
+
+
+__all__ = [
+    "Detector",
+    "DetectorContext",
+    "DetectorVerdict",
+    "FlagMap",
+    "install_flags",
+    "installed_flags",
+    "merge_verdicts",
+    "pack_flags",
+    "unpack_flags",
+]

@@ -1,0 +1,120 @@
+"""The pluggable detector registry.
+
+Detectors register under a short name; configs, the CLI and the
+scenario matrix address them by that name::
+
+    from repro.detect import register_detector, Detector
+
+    @register_detector("checksum")
+    class ChecksumDetector(Detector):
+        name = "checksum"
+        def flag(self, relation, context=None):
+            ...
+
+    DETECTORS.create("checksum")          # fresh instance
+    RepairConfig(detectors=("fd", "checksum"))
+
+:data:`DETECTORS` is the process-wide default registry the built-ins
+(:mod:`repro.detect.builtin`) populate on import; isolated registries
+(tests, embedding applications) construct their own
+:class:`DetectorRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Type, Union
+
+from repro.detect.base import Detector
+
+#: what a registry entry produces when called with no arguments
+DetectorFactory = Callable[[], Detector]
+
+
+class DetectorRegistry:
+    """name -> detector factory, with decorator-style registration."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, DetectorFactory] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: Optional[DetectorFactory] = None,
+    ) -> Union[DetectorFactory, Callable[[DetectorFactory], DetectorFactory]]:
+        """Register *factory* under *name*; usable as a decorator.
+
+        The factory is typically a :class:`~repro.detect.base.Detector`
+        subclass (instantiated with no arguments per
+        :meth:`create` call), but any zero-argument callable returning
+        a detector works. Re-registering a taken name raises — shadowing
+        a detector silently would make configs ambiguous.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError("detector name must be a non-empty string")
+        if factory is None:
+
+            def decorator(fn: DetectorFactory) -> DetectorFactory:
+                self.register(name, fn)
+                return fn
+
+            return decorator
+        if name in self._factories:
+            raise ValueError(
+                f"detector {name!r} is already registered; unregister it "
+                f"first or pick another name"
+            )
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove *name*; unknown names raise ``KeyError``."""
+        del self._factories[name]
+
+    # ------------------------------------------------------------------
+    def create(self, spec: Union[str, Detector]) -> Detector:
+        """A fresh detector for *spec* (a registered name).
+
+        A :class:`Detector` instance passes through unchanged, so call
+        sites accept pre-configured detectors and plain names
+        uniformly.
+        """
+        if isinstance(spec, Detector):
+            return spec
+        factory = self._factories.get(spec)
+        if factory is None:
+            raise KeyError(
+                f"unknown detector {spec!r}; registered: {self.names()}"
+            )
+        return factory()
+
+    def names(self) -> List[str]:
+        """Registered names, sorted."""
+        return sorted(self._factories)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:
+        return f"DetectorRegistry({self.names()})"
+
+
+#: the process-wide default registry (built-ins land here on import)
+DETECTORS = DetectorRegistry()
+
+
+def register_detector(
+    name: str,
+) -> Callable[[Type[Detector]], Type[Detector]]:
+    """Class decorator registering into the default registry."""
+    return DETECTORS.register(name)  # type: ignore[return-value]
+
+
+__all__ = ["DETECTORS", "DetectorFactory", "DetectorRegistry", "register_detector"]

@@ -2,13 +2,23 @@
 
 from repro.eval.explain import RepairReport, repair_report
 from repro.eval.review import RankedEdit, ReviewQueue, rank_repairs
-from repro.eval.metrics import RepairQuality, evaluate_repair
+from repro.eval.metrics import (
+    DetectionQuality,
+    RepairQuality,
+    evaluate_detection,
+    evaluate_repair,
+)
 from repro.eval.runner import (
     DATASETS,
+    SCENARIOS,
     SYSTEMS,
+    Scenario,
+    ScenarioResult,
     Trial,
     TrialResult,
+    run_scenario,
     run_trial,
+    scenario_matrix,
     sweep,
 )
 from repro.eval.reporting import format_by_system, format_chart, format_series, format_table
@@ -21,10 +31,17 @@ __all__ = [
     "ReviewQueue",
     "rank_repairs",
     "evaluate_repair",
+    "evaluate_detection",
+    "DetectionQuality",
     "Trial",
     "TrialResult",
     "run_trial",
     "sweep",
+    "Scenario",
+    "ScenarioResult",
+    "SCENARIOS",
+    "run_scenario",
+    "scenario_matrix",
     "DATASETS",
     "SYSTEMS",
     "format_table",

@@ -75,6 +75,54 @@ def evaluate_repair(
     return RepairQuality(precision, recall, f1, repaired, credit, true_errors)
 
 
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Cell-exact precision / recall / F1 of an error *detector*.
+
+    Unlike :class:`RepairQuality` there is no partial credit: a flagged
+    cell either is an injected error or it is not.
+    """
+
+    precision: float
+    recall: float
+    f1: float
+    flagged_cells: int
+    true_positives: int
+    true_errors: int
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"({self.flagged_cells} flagged, {self.true_errors} errors)"
+        )
+
+
+def evaluate_detection(
+    flagged: Iterable[Cell],
+    truth: Mapping[Cell, object],
+) -> DetectionQuality:
+    """Score a detector's flagged cell set against the injected errors.
+
+    Zero-division corners follow :func:`evaluate_repair`'s conventions:
+    a detector that flags nothing has precision 1.0 (it made no false
+    claims), a clean relation yields recall 1.0, and F1 is 0.0 when
+    precision and recall are both 0.
+    """
+    flagged_set = set(flagged)
+    true_positives = sum(1 for cell in flagged_set if cell in truth)
+    flagged_cells = len(flagged_set)
+    true_errors = len(truth)
+    precision = true_positives / flagged_cells if flagged_cells else 1.0
+    recall = true_positives / true_errors if true_errors else 1.0
+    if precision + recall > 0:
+        f1 = 2 * precision * recall / (precision + recall)
+    else:
+        f1 = 0.0
+    return DetectionQuality(
+        precision, recall, f1, flagged_cells, true_positives, true_errors
+    )
+
+
 def _same(a: object, b: object) -> bool:
     """Value equality tolerant of float coercion (3 vs 3.0)."""
     if a == b:

@@ -20,7 +20,7 @@ how many tuples carried the target value before the repair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.distances import DistanceModel
 from repro.core.repair import CellEdit, RepairResult, apply_edits

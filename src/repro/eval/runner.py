@@ -23,10 +23,23 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.baselines import BASELINES
 from repro.core.engine import ALGORITHMS, Repairer
 from repro.core.repair import RepairResult
-from repro.dataset.relation import Relation
-from repro.eval.metrics import RepairQuality, evaluate_repair
+from repro.dataset.relation import Cell, Relation
+from repro.eval.metrics import (
+    DetectionQuality,
+    RepairQuality,
+    evaluate_detection,
+    evaluate_repair,
+)
+from repro.generator.drift import inject_format_drift
 from repro.generator.hosp import generate_hosp, hosp_fds, hosp_thresholds
-from repro.generator.noise import NoiseConfig, error_cells, inject_noise
+from repro.generator.noise import (
+    NoiseConfig,
+    error_cells,
+    inject_noise,
+    inject_outliers,
+)
+from repro.generator.nulls import inject_nulls
+from repro.generator.skew import SKEW_FDS, generate_skew, skew_thresholds
 from repro.generator.tax import generate_tax, tax_fds, tax_thresholds
 
 #: dataset name -> (generator, fds-prefix selector, threshold derivation)
@@ -162,3 +175,137 @@ def sweep(
 ) -> List[TrialResult]:
     """Run every system on every condition (a figure's full data)."""
     return [run_trial(system, trial) for trial in trials for system in systems]
+
+
+# ----------------------------------------------------------------------
+# Scenario matrix (docs/scenarios.md)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One error-profile workload of the detector matrix.
+
+    Unlike :class:`Trial` — which always injects the paper's FD noise —
+    a scenario pairs a dataset with one *error profile* (FD noise,
+    missing-value bursts, format drift, numeric outliers) so each
+    registered detector can be scored on the corruption shape it was
+    built for and on the shapes it was not.
+    """
+
+    name: str
+    dataset: str = "hosp"
+    #: one of ``fd-noise`` / ``null-bursts`` / ``format-drift`` /
+    #: ``outliers``
+    profile: str = "fd-noise"
+    error_rate: float = 0.04
+    seed: int = 7
+    #: the registry detector this profile was designed to exercise
+    target_detector: str = "fd"
+
+    def workload(
+        self, n: int
+    ) -> Tuple[Relation, Relation, Dict[Cell, object], List, Dict]:
+        """(clean, dirty, truth, fds, thresholds) at *n* tuples."""
+        clean, fds, thresholds = _scenario_dataset(self.dataset, n, self.seed)
+        inject_rng = self.seed + 1
+        if self.profile == "fd-noise":
+            dirty, errors = inject_noise(
+                clean, fds, NoiseConfig(error_rate=self.error_rate),
+                rng=inject_rng,
+            )
+        elif self.profile == "null-bursts":
+            dirty, errors = inject_nulls(
+                clean, error_rate=self.error_rate, rng=inject_rng
+            )
+        elif self.profile == "format-drift":
+            dirty, errors = inject_format_drift(
+                clean, error_rate=self.error_rate, rng=inject_rng
+            )
+        elif self.profile == "outliers":
+            dirty, errors = inject_outliers(
+                clean, error_rate=self.error_rate, rng=inject_rng
+            )
+        else:
+            raise KeyError(f"unknown error profile {self.profile!r}")
+        return clean, dirty, error_cells(errors), fds, thresholds
+
+
+def _scenario_dataset(name: str, n: int, seed: int):
+    """(clean relation, fds, thresholds) for a scenario dataset."""
+    if name in DATASETS:
+        generate, fds_of, thresholds_of = DATASETS[name]
+        fds = fds_of(None)
+        return generate(n, rng=seed), fds, thresholds_of(fds)
+    if name == "skew":
+        fds = list(SKEW_FDS)
+        return generate_skew(n), fds, skew_thresholds(fds)
+    raise KeyError(f"unknown dataset {name!r}")
+
+
+#: The shipped matrix rows: every error profile on its natural dataset,
+#: spanning the three generator families. ``outliers`` rides on HOSP
+#: because only HOSP and Tax carry numeric attributes.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("fd-noise", dataset="hosp", profile="fd-noise",
+             target_detector="fd"),
+    Scenario("null-bursts", dataset="tax", profile="null-bursts",
+             error_rate=0.02, target_detector="null"),
+    Scenario("format-drift", dataset="skew", profile="format-drift",
+             error_rate=0.02, target_detector="regex"),
+    Scenario("outliers", dataset="hosp", profile="outliers",
+             error_rate=0.02, target_detector="outlier"),
+)
+
+
+@dataclass
+class ScenarioResult:
+    """One (scenario, detector) cell of the matrix."""
+
+    scenario: Scenario
+    detector: str
+    quality: DetectionQuality
+    seconds: float
+    flagged: int
+
+    @property
+    def is_target(self) -> bool:
+        """True when this detector is the scenario's designed match."""
+        return self.detector == self.scenario.target_detector
+
+
+def run_scenario(
+    scenario: Scenario,
+    detectors: Sequence[str],
+    n: int = 1000,
+) -> List[ScenarioResult]:
+    """Score every *detector* on one scenario's dirty instance."""
+    from repro.detect import DetectorContext, run_detectors
+
+    _, dirty, truth, fds, thresholds = scenario.workload(n)
+    context = DetectorContext(
+        fds=tuple(fds), thresholds=thresholds, seed=scenario.seed
+    )
+    results: List[ScenarioResult] = []
+    for verdict in run_detectors(dirty, detectors, context):
+        quality = evaluate_detection(verdict.cells, truth)
+        results.append(
+            ScenarioResult(
+                scenario,
+                verdict.detector,
+                quality,
+                verdict.seconds,
+                len(verdict.cells),
+            )
+        )
+    return results
+
+
+def scenario_matrix(
+    detectors: Sequence[str] = ("fd", "null", "regex", "outlier"),
+    scenarios: Sequence[Scenario] = SCENARIOS,
+    n: int = 1000,
+) -> List[ScenarioResult]:
+    """The full detectors x scenarios grid, row-major by scenario."""
+    results: List[ScenarioResult] = []
+    for scenario in scenarios:
+        results.extend(run_scenario(scenario, detectors, n=n))
+    return results

@@ -70,6 +70,13 @@ class RepairConfig:
     split_threshold: Optional[int] = None
     max_subtasks: int = 16
     bound_exchange: bool = True
+    #: error detectors to run ahead of repair/detection
+    #: (``docs/scenarios.md``): names from the detector registry, e.g.
+    #: ``("fd", "null", "outlier")``. ``"fd"`` denotes the built-in
+    #: FT-FD path (always active); the others emit advisory verdicts
+    #: merged into the violation graph — the repair itself is
+    #: byte-identical with or without them. ``None`` = FD-only.
+    detectors: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         # Deferred import: the engine imports this module at load time.
@@ -104,6 +111,20 @@ class RepairConfig:
             )
         if self.max_subtasks < 2:
             raise ValueError("max_subtasks must be >= 2")
+        if self.detectors is not None:
+            # Registry import is deferred (repro.detect registers its
+            # built-ins on package import); tuple coercion keeps the
+            # frozen config hashable when callers pass a list.
+            from repro.detect import DETECTORS
+
+            names = tuple(self.detectors)
+            unknown = [n for n in names if n not in DETECTORS]
+            if unknown:
+                raise ValueError(
+                    f"unknown detector(s) {unknown}; registered: "
+                    f"{DETECTORS.names()}"
+                )
+            object.__setattr__(self, "detectors", names)
 
     # ------------------------------------------------------------------
     def merged(self, **overrides: Any) -> "RepairConfig":

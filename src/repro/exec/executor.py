@@ -76,6 +76,13 @@ from repro.core.single.mis import ExpansionLimitError
 from repro.core.single.subtree import use_dispatcher
 from repro.core.violation import FTViolation, group_patterns
 from repro.dataset.relation import Relation
+from repro.detect.base import (
+    DetectorVerdict,
+    install_flags,
+    merge_verdicts,
+    pack_flags,
+    unpack_flags,
+)
 from repro.exec import bounds, shipping
 from repro.exec.bounds import BoundExchange
 from repro.exec.cache import shared_model
@@ -120,6 +127,12 @@ class ComponentTask:
     fds: Tuple[FD, ...]
     thresholds: Tuple[Tuple[FD, float], ...]  #: materialized per-FD taus
     config: RepairConfig
+    #: packed detector flag map (:func:`repro.detect.pack_flags`) the
+    #: worker installs around the component repair so violation-graph
+    #: builds can annotate flagged vertices; ``None`` (the FD-only
+    #: path) keeps the task message byte-for-byte what it was before
+    #: detectors existed
+    flags: Optional[Tuple[Tuple[int, str, Tuple[str, ...]], ...]] = None
 
     @property
     def relation(self) -> Relation:
@@ -424,13 +437,16 @@ def _component_outcome(task: ComponentTask) -> ComponentOutcome:
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         with use_kernel(task.config.kernel):
-            result, meta = repair_component(
-                task.relation,
-                task.fds,
-                model,
-                dict(task.thresholds),
-                task.config,
-            )
+            with install_flags(
+                unpack_flags(task.flags) if task.flags else None
+            ):
+                result, meta = repair_component(
+                    task.relation,
+                    task.fds,
+                    model,
+                    dict(task.thresholds),
+                    task.config,
+                )
     seconds = time.perf_counter() - start
     # process_time of a coordinated task naturally excludes its subtree
     # chunks' CPU — they burn cycles in worker processes — so per-unit
@@ -558,13 +574,26 @@ class RepairExecutor:
         relation: Relation,
         fds: Sequence[FD],
         thresholds: Dict[FD, float],
+        verdicts: Optional[Sequence[DetectorVerdict]] = None,
     ) -> RepairResult:
-        """Repair *relation* against *fds*; input never mutated."""
-        return self.repair_many([(relation, fds, thresholds)])[0]
+        """Repair *relation* against *fds*; input never mutated.
+
+        *verdicts* — detector verdicts (``config.detectors``) whose
+        merged flag map annotates every component's violation graphs
+        ahead of search. Advisory only: the repair is byte-identical
+        with or without them.
+        """
+        return self.repair_many(
+            [(relation, fds, thresholds)],
+            verdicts=[verdicts] if verdicts else None,
+        )[0]
 
     def repair_many(
         self,
         jobs: Sequence[Tuple[Relation, Sequence[FD], Dict[FD, float]]],
+        verdicts: Optional[
+            Sequence[Optional[Sequence[DetectorVerdict]]]
+        ] = None,
     ) -> List[RepairResult]:
         """Repair a batch of (relation, fds, thresholds) jobs.
 
@@ -580,6 +609,12 @@ class RepairExecutor:
         snapshots = [_dict_snapshot(relation) for relation, _, _ in jobs]
         for group, (relation, fds, thresholds) in enumerate(jobs):
             ref = shipping.publish(relation)
+            job_verdicts = verdicts[group] if verdicts else None
+            flags = (
+                pack_flags(merge_verdicts(job_verdicts))
+                if job_verdicts
+                else None
+            ) or None
             for index, component in enumerate(fd_components(list(fds))):
                 tasks.append(
                     ComponentTask(
@@ -591,6 +626,7 @@ class RepairExecutor:
                             (fd, float(thresholds[fd])) for fd in component
                         ),
                         config=self.config,
+                        flags=flags,
                     )
                 )
         outcomes, elapsed, workers, traffic = self._run(

@@ -149,6 +149,15 @@ class ExecutionStats(dict):
 
     # -- degradation ----------------------------------------------------
     @property
+    def detector_cells_flagged(self) -> Dict[str, int]:
+        """detector name -> cells flagged ahead of this run.
+
+        Filled by the engine when ``config.detectors`` lists detectors
+        beyond the FD path (``docs/scenarios.md``); empty otherwise.
+        """
+        return dict(self.get("detector_cells_flagged") or {})
+
+    @property
     def degraded(self) -> bool:
         """True when any component fell back from exact to greedy."""
         return bool(self.get("degraded", False))

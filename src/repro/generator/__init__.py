@@ -2,7 +2,16 @@
 
 from repro.generator.vocab import build_vocabulary, vocabulary_separation
 from repro.generator.entities import AttributeRole, EntityCatalog, FDSpec
-from repro.generator.noise import ErrorKind, InjectedError, NoiseConfig, inject_noise
+from repro.generator.noise import (
+    ErrorKind,
+    InjectedError,
+    NoiseConfig,
+    error_cells,
+    inject_noise,
+    inject_outliers,
+)
+from repro.generator.nulls import NULL_TOKENS, inject_nulls
+from repro.generator.drift import DRIFT_TRANSFORMS, inject_format_drift
 from repro.generator.hosp import HOSP_FDS, HOSP_SCHEMA, generate_hosp, hosp_thresholds
 from repro.generator.skew import (
     SKEW_FDS,
@@ -20,6 +29,12 @@ __all__ = [
     "FDSpec",
     "AttributeRole",
     "inject_noise",
+    "inject_outliers",
+    "inject_nulls",
+    "inject_format_drift",
+    "error_cells",
+    "NULL_TOKENS",
+    "DRIFT_TRANSFORMS",
     "NoiseConfig",
     "InjectedError",
     "ErrorKind",

@@ -1,0 +1,112 @@
+"""Format drift: the ``format-drift`` scenario's error profile.
+
+A schema-preserving but convention-breaking corruption: values keep
+their content but change *shape* — an upstream exporter switches to
+upper case, starts zero-padding, or inserts separators. Cell-level
+distance barely moves (the FD path under-reacts), but the column's
+dominant format signature no longer matches, which is exactly the
+signal :class:`~repro.detect.builtin.RegexFormatDetector` keys on.
+
+:func:`inject_format_drift` applies one of three transforms per picked
+cell — upper-casing, dash insertion, or suffix padding — each chosen so
+``format_signature(dirty) != format_signature(clean)``. See
+``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.dataset.relation import NUMERIC, Cell, Relation
+from repro.generator.noise import ErrorKind, InjectedError
+from repro.utils.rng import SeedLike, make_rng
+
+
+def _upper(text: str, rng: random.Random) -> str:
+    return text.upper()
+
+
+def _dash(text: str, rng: random.Random) -> str:
+    pos = rng.randrange(1, len(text)) if len(text) > 1 else len(text)
+    return text[:pos] + "-" + text[pos:]
+
+
+def _pad(text: str, rng: random.Random) -> str:
+    return text + "_" + str(rng.randrange(10))
+
+
+#: The drift transforms, applied round-robin per injected cell.
+DRIFT_TRANSFORMS: Tuple[Callable[[str, random.Random], str], ...] = (
+    _upper,
+    _dash,
+    _pad,
+)
+
+
+def inject_format_drift(
+    relation: Relation,
+    attributes: Optional[Sequence[str]] = None,
+    error_rate: float = 0.02,
+    rng: SeedLike = None,
+) -> Tuple[Relation, List[InjectedError]]:
+    """Re-format cells without changing their content; return (dirty, log).
+
+    ``error_rate`` is the fraction of cells over the eligible string
+    *attributes* (default: all of them) to drift. Cells whose transform
+    would be a no-op (e.g. upper-casing an already-upper value) are
+    retried with the next transform; the input relation is never
+    modified.
+    """
+    if not 0.0 <= error_rate < 1.0:
+        raise ValueError("error_rate must be in [0, 1)")
+    random_state = make_rng(rng)
+    dirty = relation.copy()
+    if attributes is None:
+        attributes = [
+            a for a in relation.schema.names
+            if relation.schema.kind_of(a) != NUMERIC
+        ]
+    else:
+        for attr in attributes:
+            if relation.schema.kind_of(attr) == NUMERIC:
+                raise ValueError(
+                    f"attribute {attr!r} is numeric; format drift covers "
+                    "string attributes only (docs/scenarios.md)"
+                )
+    attributes = list(attributes)
+    if not attributes or not len(relation):
+        return dirty, []
+
+    n_errors = int(round(error_rate * len(relation) * len(attributes)))
+    used: Set[Cell] = set()
+    errors: List[InjectedError] = []
+    attempts, budget = 0, n_errors * 50 + 100
+    transform_index = 0
+    while len(errors) < n_errors and attempts < budget:
+        attempts += 1
+        attr = attributes[random_state.randrange(len(attributes))]
+        tid = random_state.randrange(len(relation))
+        cell = (tid, attr)
+        if cell in used:
+            continue
+        clean = dirty.value(tid, attr)
+        text = "" if clean is None else str(clean)
+        if not text:
+            continue
+        new: Optional[str] = None
+        for offset in range(len(DRIFT_TRANSFORMS)):
+            transform = DRIFT_TRANSFORMS[
+                (transform_index + offset) % len(DRIFT_TRANSFORMS)
+            ]
+            candidate = transform(text, random_state)
+            if candidate != text:
+                new = candidate
+                break
+        transform_index += 1
+        if new is None:
+            continue
+        dirty.set_value(tid, attr, new)
+        used.add(cell)
+        errors.append(InjectedError(tid, attr, clean, new, ErrorKind.DRIFT))
+    return dirty, errors

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 import string
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -28,11 +28,21 @@ from repro.utils.rng import SeedLike, make_rng
 
 
 class ErrorKind(Enum):
-    """The three noise flavours of the paper's protocol."""
+    """The paper's three noise flavours plus the scenario-matrix kinds.
+
+    RHS/LHS/TYPO follow Section 6.1's protocol; NULL, DRIFT and OUTLIER
+    are the profiles of the detector scenarios (``docs/scenarios.md``)
+    injected by :func:`repro.generator.nulls.inject_nulls`,
+    :func:`repro.generator.drift.inject_format_drift` and
+    :func:`inject_outliers`.
+    """
 
     RHS = "rhs"
     LHS = "lhs"
     TYPO = "typo"
+    NULL = "null"
+    DRIFT = "drift"
+    OUTLIER = "outlier"
 
 
 @dataclass(frozen=True)
@@ -136,6 +146,69 @@ def inject_noise(
     corrupt(n_rhs, rhs_attrs, ErrorKind.RHS)
     corrupt(n_lhs, lhs_attrs, ErrorKind.LHS)
     corrupt(n_typo, all_attrs, ErrorKind.TYPO)
+    return dirty, errors
+
+
+def inject_outliers(
+    relation: Relation,
+    attributes: Optional[Sequence[str]] = None,
+    error_rate: float = 0.02,
+    magnitude: float = 8.0,
+    rng: SeedLike = None,
+) -> Tuple[Relation, List[InjectedError]]:
+    """Corrupt numeric cells with values far outside the column's spread.
+
+    Each picked cell is shifted by ``direction * magnitude * spread``
+    where *spread* is the column's max-min range (falling back to
+    ``max(|value|, 1)`` for constant columns), producing points a
+    robust dispersion test flags while FD detection stays blind to
+    them. *attributes* defaults to every numeric attribute.
+    """
+    if not 0.0 <= error_rate < 1.0:
+        raise ValueError("error_rate must be in [0, 1)")
+    random_state = make_rng(rng)
+    dirty = relation.copy()
+    if attributes is None:
+        attributes = [
+            a for a in relation.schema.names
+            if relation.schema.kind_of(a) == NUMERIC
+        ]
+    else:
+        for attr in attributes:
+            if relation.schema.kind_of(attr) != NUMERIC:
+                raise ValueError(f"attribute {attr!r} is not numeric")
+    attributes = list(attributes)
+    if not attributes or not len(relation):
+        return dirty, []
+
+    spreads: Dict[str, float] = {}
+    for attr in attributes:
+        domain = [float(v) for v in relation.active_domain(attr)]
+        spread = max(domain) - min(domain) if domain else 0.0
+        if spread <= 0.0:
+            spread = max((abs(v) for v in domain), default=1.0) or 1.0
+        spreads[attr] = spread
+
+    n_errors = int(round(error_rate * len(relation) * len(attributes)))
+    used: Set[Cell] = set()
+    errors: List[InjectedError] = []
+    attempts, budget = 0, n_errors * 50 + 100
+    while len(errors) < n_errors and attempts < budget:
+        attempts += 1
+        attr = attributes[random_state.randrange(len(attributes))]
+        tid = random_state.randrange(len(relation))
+        cell = (tid, attr)
+        if cell in used:
+            continue
+        clean = dirty.value(tid, attr)
+        direction = 1.0 if random_state.random() < 0.5 else -1.0
+        shift = direction * magnitude * spreads[attr]
+        new = round(float(clean) + shift, 6)
+        if new == clean:
+            continue
+        dirty.set_value(tid, attr, new)
+        used.add(cell)
+        errors.append(InjectedError(tid, attr, clean, new, ErrorKind.OUTLIER))
     return dirty, errors
 
 

@@ -1,0 +1,100 @@
+"""Missing-value bursts: the ``null-bursts`` scenario's error profile.
+
+Real feeds rarely drop values uniformly — an upstream outage blanks a
+column for a *run* of consecutive rows (a half-written batch, a joined
+source that went away). :func:`inject_nulls` reproduces that shape:
+errors arrive in bursts of consecutive tuple ids on one attribute, each
+cell replaced by a null token the
+:class:`~repro.detect.builtin.NullDetector` recognises.
+
+Only string attributes are eligible — the columnar substrate coerces
+numeric cells, and a numeric NaN would change the column's statistics
+that the outlier scenario owns. See ``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.dataset.relation import NUMERIC, Cell, Relation
+from repro.generator.noise import ErrorKind, InjectedError
+from repro.utils.rng import SeedLike, make_rng
+
+#: Tokens a burst writes, cycled per burst so the dirty relation mixes
+#: spellings the way concatenated exports do. All are recognised by
+#: ``NullDetector``'s default token set.
+NULL_TOKENS: Tuple[str, ...] = ("", "NULL", "n/a", "?")
+
+
+def inject_nulls(
+    relation: Relation,
+    attributes: Optional[Sequence[str]] = None,
+    error_rate: float = 0.02,
+    burst_length: int = 5,
+    rng: SeedLike = None,
+) -> Tuple[Relation, List[InjectedError]]:
+    """Blank cells in bursts of consecutive tuples; return (dirty, log).
+
+    ``error_rate`` is the fraction of cells over the eligible string
+    *attributes* (default: all of them) to blank; bursts of
+    ``burst_length`` consecutive tids are placed on one attribute at a
+    time until the budget is spent. Cells already null-ish are skipped
+    (corrupting them would be a no-op the ground-truth log must not
+    claim). The input relation is never modified.
+    """
+    if not 0.0 <= error_rate < 1.0:
+        raise ValueError("error_rate must be in [0, 1)")
+    if burst_length < 1:
+        raise ValueError("burst_length must be >= 1")
+    random_state = make_rng(rng)
+    dirty = relation.copy()
+    if attributes is None:
+        attributes = [
+            a for a in relation.schema.names
+            if relation.schema.kind_of(a) != NUMERIC
+        ]
+    else:
+        for attr in attributes:
+            if relation.schema.kind_of(attr) == NUMERIC:
+                raise ValueError(
+                    f"attribute {attr!r} is numeric; null bursts cover "
+                    "string attributes only (docs/scenarios.md)"
+                )
+    attributes = list(attributes)
+    if not attributes or not len(relation):
+        return dirty, []
+
+    n_errors = int(round(error_rate * len(relation) * len(attributes)))
+    used: Set[Cell] = set()
+    errors: List[InjectedError] = []
+    attempts, budget = 0, n_errors * 20 + 100
+    burst_index = 0
+    while len(errors) < n_errors and attempts < budget:
+        attempts += 1
+        attr = attributes[random_state.randrange(len(attributes))]
+        start = random_state.randrange(len(relation))
+        token = NULL_TOKENS[burst_index % len(NULL_TOKENS)]
+        burst_index += 1
+        for tid in range(start, min(start + burst_length, len(relation))):
+            if len(errors) >= n_errors:
+                break
+            cell = (tid, attr)
+            if cell in used:
+                continue
+            clean = dirty.value(tid, attr)
+            if _is_nullish(clean):
+                continue
+            dirty.set_value(tid, attr, token)
+            used.add(cell)
+            errors.append(
+                InjectedError(tid, attr, clean, token, ErrorKind.NULL)
+            )
+    return dirty, errors
+
+
+def _is_nullish(value: object) -> bool:
+    if value is None or value != value:
+        return True
+    return isinstance(value, str) and value.strip().lower() in {
+        "", "na", "n/a", "null", "none", "nil", "-", "?",
+    }

@@ -19,7 +19,6 @@ provable margin.
 
 from __future__ import annotations
 
-import string
 from typing import List, Sequence, Tuple
 
 from repro.core.distances import levenshtein

@@ -32,6 +32,15 @@ bytes the pre-1.2 substrate would have pickled per task), and the
 800-tuple HOSP output hash of every algorithm (always the smoke slice,
 so the gate can pin exact values at every scale).
 
+``--simjoin`` appends a ``vectorized_simjoin`` entry to
+``BENCH_simjoin.json`` instead: the vectorized-vs-indexed detection
+sweep on the noisy HOSP slice (detect-phase walls, the distinct-id
+counters), the same sweep on a Tax substrate slice whose constant
+active domain is the regime dictionary-granularity filtering exists
+for, and a five-algorithm repair-hash sweep at serial and ``n_jobs=2``
+under ``join_strategy="vectorized"`` — the equality and speedup floors
+``benchmarks/check_simjoin_gate.py`` gates.
+
 ``--sched`` appends a ``skew_sched`` entry: the adaptive skew-aware
 scheduler (``docs/parallelism.md``) measured on the skewed generator's
 one-giant-component workload. It repairs the same relation three ways —
@@ -47,7 +56,7 @@ change the repair.
 Usage::
 
     PYTHONPATH=src python benchmarks/_trajectory.py \
-        [--algorithm greedy-m] [--substrate] [--sched] \
+        [--algorithm greedy-m] [--substrate] [--sched] [--simjoin] \
         [path/to/BENCH_repair.json]
 """
 
@@ -320,6 +329,154 @@ def run_substrate_entry() -> dict:
 
 
 # ----------------------------------------------------------------------
+# --simjoin: the vectorized distinct-id detection sweep
+# ----------------------------------------------------------------------
+SIMJOIN_PATH = ROOT / "BENCH_simjoin.json"
+#: rows of the noisy Tax slice the sweep also detects over — the
+#: constant-active-domain regime where tuple counts dwarf distinct ids
+TAX_SIMJOIN_N = TAX_SUBSTRATE_N
+#: the counters each strategy's sweep row records
+SIMJOIN_COUNTERS = (
+    "pairs_examined",
+    "pairs_filtered",
+    "pairs_verified",
+    "kernel_calls",
+    "distinct_pairs_examined",
+    "tuple_fanout",
+    "vector_filter_passes",
+)
+
+
+def _simjoin_detect_sweep(relation, fds, thresholds, rounds: int = 2) -> dict:
+    """Detect-phase walls and counters: indexed vs vectorized.
+
+    Mirrors the ablation bench's measurement discipline — a fresh
+    distance model per run (no cache leakage between strategies), one
+    shared attribute-index registry per run, best wall of *rounds* —
+    and asserts the two strategies emit identical violation triples.
+    """
+    from repro.core.distances import DistanceModel
+    from repro.core.violation import group_patterns
+    from repro.index.registry import AttributeIndexRegistry
+    from repro.index.simjoin import SimilarityJoin
+
+    weights = Weights(0.5, 0.5)
+    patterns = {fd: group_patterns(relation, fd) for fd in fds}
+    out: dict = {"n_tuples": len(relation), "n_fds": len(fds)}
+    signatures = {}
+    for strategy in ("indexed", "vectorized"):
+        best_wall = None
+        best_counters: dict = {}
+        signature = None
+        for _ in range(rounds):
+            model = DistanceModel(relation, weights=weights)
+            registry = AttributeIndexRegistry()
+            counters = dict.fromkeys(SIMJOIN_COUNTERS, 0)
+            signature = []
+            start = time.perf_counter()
+            for fd in fds:
+                join = SimilarityJoin(
+                    fd,
+                    model,
+                    thresholds[fd],
+                    strategy=strategy,
+                    registry=registry,
+                )
+                signature.append(
+                    [
+                        (v.left.values, v.right.values, v.distance)
+                        for v in join.join(patterns[fd])
+                    ]
+                )
+                for key in SIMJOIN_COUNTERS:
+                    counters[key] += getattr(join, key)
+            wall = time.perf_counter() - start
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+                best_counters = counters
+        signatures[strategy] = signature
+        out[strategy] = {"seconds": round(best_wall, 4), **best_counters}
+    if signatures["vectorized"] != signatures["indexed"]:
+        raise AssertionError(
+            "vectorized and indexed detection disagree on this workload"
+        )
+    out["violations_equal"] = True
+    out["speedup"] = round(
+        out["indexed"]["seconds"] / max(out["vectorized"]["seconds"], 1e-9), 3
+    )
+    return out
+
+
+def _vectorized_hash_sweep() -> dict:
+    """Repair hashes of every algorithm under the vectorized strategy.
+
+    For each algorithm: the indexed-serial reference hash plus the
+    vectorized hash at serial and ``n_jobs=2`` — three values the gate
+    requires to be one.
+    """
+    from repro.obs import repair_output_hash
+
+    clean = generate_hosp(HASH_SLICE_N, rng=7)
+    relation, _errors = inject_noise(clean, HOSP_FDS, NoiseConfig(), rng=11)
+    weights = Weights(0.5, 0.5)
+    thresholds = hosp_thresholds(weights=weights)
+    settings = (
+        ("indexed", {"join_strategy": "indexed"}),
+        ("vectorized", {"join_strategy": "vectorized"}),
+        ("vectorized_n_jobs2", {"join_strategy": "vectorized", "n_jobs": 2}),
+    )
+    hashes = {}
+    for algorithm in HASH_ALGORITHMS:
+        extra = {"fallback": "greedy"} if algorithm.startswith("exact") else {}
+        per_setting = {}
+        for label, kwargs in settings:
+            repairer = Repairer(
+                HOSP_FDS,
+                algorithm=algorithm,
+                weights=weights,
+                thresholds=thresholds,
+                **kwargs,
+                **extra,
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                result = repairer.repair(relation)
+            per_setting[label] = repair_output_hash(result.edits, result.cost)
+        hashes[algorithm] = per_setting
+    return hashes
+
+
+def run_simjoin_entry() -> dict:
+    """The ``vectorized_simjoin`` trajectory entry (see module docstring)."""
+    from repro.generator.tax import TAX_FDS, generate_tax, tax_thresholds
+
+    hosp_sweep = _simjoin_detect_sweep(
+        workload(), HOSP_FDS, hosp_thresholds(weights=Weights(0.5, 0.5))
+    )
+    # The clean substrate relation, not a noisy copy: its constant
+    # entity catalog keeps the distinct patterns in the hundreds while
+    # the tuple count runs to a million — the regime where distinct-id
+    # candidate work is dwarfed by the tuple fan-out it stands in for.
+    tax_relation = generate_tax(TAX_SIMJOIN_N, rng=0, **TAX_CATALOG)
+    tax_sweep = _simjoin_detect_sweep(
+        tax_relation, TAX_FDS, tax_thresholds(), rounds=1
+    )
+    sweep = _vectorized_hash_sweep()
+    return {
+        "workload": "vectorized_simjoin",
+        "scale": SCALE,
+        "calibration_seconds": round(calibration_seconds(), 4),
+        "hosp": hosp_sweep,
+        "tax": tax_sweep,
+        "hash_slice_n": HASH_SLICE_N,
+        "output_hashes": sweep,
+        "hashes_match": all(
+            len(set(values.values())) == 1 for values in sweep.values()
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # --sched: adaptive skew-aware scheduling (subtree splitting)
 # ----------------------------------------------------------------------
 #: the skewed workload: one giant path component of SCHED_CHAIN patterns.
@@ -514,6 +671,7 @@ def main(argv: list) -> int:
     algorithm = ALGORITHM
     substrate = False
     sched = False
+    simjoin = False
     positional = []
     rest = list(argv[1:])
     while rest:
@@ -527,11 +685,37 @@ def main(argv: list) -> int:
             substrate = True
         elif arg == "--sched":
             sched = True
+        elif arg == "--simjoin":
+            simjoin = True
         elif arg == "--_substrate-point":
             print(json.dumps(substrate_point(int(rest.pop(0)))))
             return 0
         else:
             positional.append(arg)
+    if simjoin:
+        path = Path(positional[0]) if positional else SIMJOIN_PATH
+        entry = run_simjoin_entry()
+        trajectory = []
+        if path.exists():
+            trajectory = json.loads(path.read_text())
+        trajectory.append(entry)
+        path.write_text(json.dumps(trajectory, indent=2) + "\n")
+        hosp = entry["hosp"]
+        tax = entry["tax"]
+        print(
+            f"simjoin: vectorized {hosp['speedup']}x vs indexed on "
+            f"{hosp['n_tuples']} HOSP tuples "
+            f"({hosp['vectorized']['seconds']}s vs "
+            f"{hosp['indexed']['seconds']}s), {tax['speedup']}x on "
+            f"{tax['n_tuples']} Tax tuples; "
+            f"{hosp['vectorized']['distinct_pairs_examined']} distinct "
+            f"pair(s) for {hosp['vectorized']['tuple_fanout']} tuple "
+            f"pair(s); hashes "
+            f"{'match' if entry['hashes_match'] else 'MISMATCH'}; "
+            f"{len(trajectory)} entr{'y' if len(trajectory) == 1 else 'ies'} "
+            f"in {path}"
+        )
+        return 0
     path = Path(positional[0]) if positional else DEFAULT_PATH
     if sched:
         entry = run_sched_entry()

@@ -138,6 +138,9 @@ def test_hosp_slice_trajectory(benchmark):
             "kernel_calls": 0,
             "index_builds": 0,
             "index_reuses": 0,
+            "distinct_pairs_examined": 0,
+            "tuple_fanout": 0,
+            "vector_filter_passes": 0,
         }
         out = []
         start = time.perf_counter()
@@ -194,6 +197,13 @@ def test_hosp_slice_trajectory(benchmark):
     )
     # the shared registry must actually reuse its per-attribute indexes
     assert runs["indexed"]["index_reuses"] > 0
+    # distinct-id granularity pays: the vectorized strategy settles far
+    # fewer value pairs than the tuple-level fan-out it stands in for
+    assert (
+        runs["vectorized"]["distinct_pairs_examined"]
+        <= runs["vectorized"]["tuple_fanout"]
+    )
+    assert runs["vectorized"]["vector_filter_passes"] > 0
 
     entry = {
         "scale": SCALE,

@@ -36,7 +36,9 @@ config field          CLI flag                 meaning
 
 ``RepairConfig(simjoin_strategy=...)`` and ``--simjoin-strategy`` remain
 accepted aliases of ``join_strategy`` / ``--join-strategy``; the
-``join_strategy`` spelling is the documented one.
+``join_strategy`` spelling is the documented one. All strategies —
+including the numpy-batched ``"vectorized"`` one — emit identical
+violations; they differ only in how many candidate pairs they examine.
 
 Serving
 -------

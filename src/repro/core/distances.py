@@ -31,6 +31,7 @@ from typing import (
     Callable,
     Dict,
     Iterator,
+    List,
     MutableMapping,
     Optional,
     Sequence,
@@ -204,6 +205,27 @@ class PreparedKernel:
             if score - remaining > bound:
                 return bound + 1
         return score if score <= bound else bound + 1
+
+    def compare_many(
+        self,
+        others: Sequence[str],
+        upper_bounds: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[int]:
+        """Batched :meth:`compare` against many right-hand strings.
+
+        *upper_bounds* is either ``None`` (every comparison unbounded) or
+        one bound per element of *others*; each result honours the same
+        contract as :meth:`compare` — exact iff within its bound. The
+        PEQ table is shared across the whole batch, which is the shape
+        the vectorized distinct-id join settles candidates in.
+        """
+        compare = self.compare
+        if upper_bounds is None:
+            return [compare(other) for other in others]
+        return [
+            compare(other, bound)
+            for other, bound in zip(others, upper_bounds)
+        ]
 
 
 class DistanceKernel:

@@ -140,9 +140,12 @@ class Repairer:
         Violation-detection strategy (see
         :class:`repro.index.simjoin.SimilarityJoin`): ``"indexed"``
         (default — sub-quadratic candidate generation via the blocker
-        planner, ``docs/detection.md``), ``"filtered"``, ``"qgram"`` or
-        ``"naive"``. Every strategy returns identical violations.
-        ``simjoin_strategy=`` is accepted as a synonym.
+        planner, ``docs/detection.md``), ``"vectorized"`` (the same
+        filters batched through numpy at distinct-dictionary-id
+        granularity; falls back to ``"indexed"`` when numpy is
+        missing), ``"filtered"``, ``"qgram"`` or ``"naive"``. Every
+        strategy returns identical violations. ``simjoin_strategy=`` is
+        accepted as a synonym.
     fallback:
         For exact algorithms only: ``"error"`` propagates budget
         overruns, ``"greedy"`` degrades to the corresponding greedy

@@ -474,6 +474,9 @@ JOIN_COUNTER_KEYS = (
     "kernel_calls",
     "index_builds",
     "index_reuses",
+    "distinct_pairs_examined",
+    "tuple_fanout",
+    "vector_filter_passes",
 )
 
 

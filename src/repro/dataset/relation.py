@@ -55,6 +55,11 @@ from typing import (
 
 from repro._compat import deprecated
 
+try:  # numpy is optional at runtime; vectorized paths degrade without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-absent CI job
+    _np = None  # type: ignore[assignment]
+
 #: Attribute kinds understood by the distance model.
 STRING = "string"
 NUMERIC = "numeric"
@@ -426,6 +431,23 @@ class Relation:
         return memoryview(
             self._columns[self.schema.index_of(attribute)]
         ).toreadonly()
+
+    def column_array(self, attribute: str) -> Any:
+        """The id column of *attribute* as a read-only zero-copy numpy view.
+
+        Shares the underlying ``array('I')`` buffer (no copy): the view
+        is invalidated by appends (which may reallocate the buffer) but
+        tracks in-place ``set_value`` mutations, exactly like
+        :meth:`column`. The dtype is the C ``unsigned int`` the column is
+        stored as. Raises ``RuntimeError`` when numpy is unavailable —
+        callers that can degrade should check for numpy themselves.
+        """
+        if _np is None:
+            raise RuntimeError(
+                "Relation.column_array() requires numpy; "
+                "use Relation.column() for the buffer-protocol view"
+            )
+        return _np.frombuffer(self.column(attribute), dtype=_np.uintc)
 
     def dictionary(self, attribute: str) -> ValueDictionary:
         """The :class:`ValueDictionary` of *attribute*."""

@@ -27,6 +27,9 @@ The execution-layer knobs are new in this layer:
 ``join_strategy`` defaults to ``"indexed"`` — the sub-quadratic
 candidate-generation detection path (see ``docs/detection.md``), which
 returns exactly the same violations as the scan strategies.
+``"vectorized"`` batches the same filters through numpy at
+distinct-dictionary-id granularity (identical violations again) and
+degrades to ``"indexed"`` when numpy is unavailable.
 """
 
 from __future__ import annotations

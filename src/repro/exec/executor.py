@@ -199,6 +199,10 @@ class DetectionOutcome:
     blocker: Optional[str]
     cache_hits: int
     cache_misses: int
+    #: distinct-dictionary-id counters; nonzero only for ``vectorized``
+    distinct_pairs_examined: int = 0
+    tuple_fanout: int = 0
+    vector_filter_passes: int = 0
     #: executing process and CPU time (see ComponentOutcome)
     pid: int = 0
     cpu_seconds: float = 0.0
@@ -517,6 +521,9 @@ def _detection_outcome(task: DetectionTask) -> DetectionOutcome:
         kernel_calls=join.kernel_calls,
         index_builds=join.index_builds,
         index_reuses=join.index_reuses,
+        distinct_pairs_examined=join.distinct_pairs_examined,
+        tuple_fanout=join.tuple_fanout,
+        vector_filter_passes=join.vector_filter_passes,
         blocker=join.plan.describe() if join.plan is not None else None,
         cache_hits=model.cache_hits - hits0,
         cache_misses=model.cache_misses - misses0,
@@ -695,6 +702,9 @@ class RepairExecutor:
                     "kernel_calls": outcome.kernel_calls,
                     "index_builds": outcome.index_builds,
                     "index_reuses": outcome.index_reuses,
+                    "distinct_pairs_examined": outcome.distinct_pairs_examined,
+                    "tuple_fanout": outcome.tuple_fanout,
+                    "vector_filter_passes": outcome.vector_filter_passes,
                     "blocker": outcome.blocker,
                 }
             )
@@ -717,6 +727,13 @@ class RepairExecutor:
                 "kernel_calls": sum(o.kernel_calls for o in outcomes),
                 "index_builds": sum(o.index_builds for o in outcomes),
                 "index_reuses": sum(o.index_reuses for o in outcomes),
+                "distinct_pairs_examined": sum(
+                    o.distinct_pairs_examined for o in outcomes
+                ),
+                "tuple_fanout": sum(o.tuple_fanout for o in outcomes),
+                "vector_filter_passes": sum(
+                    o.vector_filter_passes for o in outcomes
+                ),
             }
         )
         stats.update(traffic)

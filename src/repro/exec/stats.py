@@ -181,6 +181,9 @@ class ExecutionStats(dict):
             "kernel_calls",
             "index_builds",
             "index_reuses",
+            "distinct_pairs_examined",
+            "tuple_fanout",
+            "vector_filter_passes",
             "target_tree_nodes_visited",
             "target_tree_nodes_pruned",
             "target_tree_edist_hits",
@@ -223,6 +226,13 @@ class ExecutionStats(dict):
             bits.append(f"cache hit rate {self.cache_hit_rate:.0%}")
         if self.get("possible_pairs"):
             bits.append(f"pair reduction {self.reduction_ratio:.0%}")
+        if self.get("distinct_pairs_examined"):
+            bits.append(
+                f"{int(self['distinct_pairs_examined'])} distinct pair(s) "
+                f"-> {int(self.get('tuple_fanout', 0))} tuple pair(s) "
+                f"in {int(self.get('vector_filter_passes', 0))} "
+                f"vector pass(es)"
+            )
         if self.relation_bytes_shipped:
             bits.append(
                 f"shipped {self.relation_bytes_shipped / 1024:.0f}KiB "

@@ -56,7 +56,13 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.constraints import FD
 from repro.core.distances import DistanceModel, levenshtein_banded, qgrams
 from repro.core.violation import Pattern
+from repro.index.qgram import packed_overlap
 from repro.index.registry import AttributeIndexRegistry
+
+try:  # numpy is optional at runtime; the vectorized passes degrade without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-absent CI job
+    _np = None  # type: ignore[assignment]
 
 #: relative epsilon inside the edit-budget floor so float rounding in
 #: ``ratio * length`` can never round an exactly-representable budget
@@ -336,6 +342,112 @@ def _qgram_value_pairs(
             if expanded > expansion_limit:
                 return None
     return tuple(kept), expanded
+
+
+# ----------------------------------------------------------------------
+# Vectorized candidate passes (distinct-id granularity, numpy-batched)
+# ----------------------------------------------------------------------
+#: element budget per transient matrix of the length-band pass and byte
+#: budget per packed-overlap gather — both bound peak memory, neither
+#: affects the emitted pair set.
+_VEC_MATRIX_ELEMS = 1 << 21
+_VEC_OVERLAP_BYTES = 1 << 23
+
+
+def vectorized_band_pairs(values: Sequence[float], band: float) -> Tuple[Any, Any, int]:
+    """Value-id pairs with ``|a - b| <= band``, as numpy arrays.
+
+    The vectorized twin of :func:`_band_windows`: an argsort plus one
+    ``searchsorted`` per side replaces the two-pointer scan, and the
+    windows expand through segmented ``repeat``/``cumsum`` arithmetic.
+    Returns ``(u, v, passes)`` where *passes* counts the vectorized
+    filter passes run. Same pair set as the scalar code — the window
+    condition compares the same floats.
+    """
+    arr = _np.asarray(values, dtype=_np.float64)
+    order = _np.argsort(arr, kind="stable")
+    sv = arr[order]
+    idx = _np.arange(len(sv), dtype=_np.int64)
+    starts = _np.searchsorted(sv, sv - band, side="left")
+    counts = idx - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = _np.zeros(0, dtype=_np.int64)
+        return empty, empty, 1
+    pair_of = _np.repeat(idx, counts)
+    base = _np.cumsum(counts) - counts
+    within = _np.arange(total, dtype=_np.int64) - base[pair_of]
+    mids = starts[pair_of] + within
+    return order[mids], order[pair_of], 1
+
+
+def vectorized_qgram_pairs(
+    packed: Any,
+    sizes: Any,
+    lengths: Any,
+    ratio: float,
+    q: int,
+) -> Tuple[Any, Any, Any, int]:
+    """Distinct-id pair candidates of one q-gram blocker, numpy-batched.
+
+    Runs the two sound prefilters over the canonical (bit-packed) gram
+    matrix of :meth:`_StringIndex.gram_arrays`, upper triangle only:
+
+    1. **length band** — ``|la - lb| <= k`` with the per-pair edit
+       budget ``k = floor(ratio * max(la, lb) + eps)``;
+    2. **q-gram count filter** (distinct-set variant) — ``lev <= k``
+       implies the profiles share at least ``max(|Ga|, |Gb|) - k*q``
+       grams, so pairs under that overlap are rejected by popcounting
+       the packed rows.
+
+    Returns ``(u, v, k, passes)``: surviving canonical code pairs, the
+    edit budget per pair (for the exact settle the caller runs), and the
+    number of vectorized filter passes. Survivors are a superset of the
+    pairs within their budget; the caller settles them exactly, so the
+    emitted value-pair set ends up identical to the scalar blocker's.
+    """
+    n_values = len(lengths)
+    passes = 0
+    out_u: List[Any] = []
+    out_v: List[Any] = []
+    out_k: List[Any] = []
+    row_bytes = packed.shape[1] if packed.ndim == 2 else 1
+    overlap_chunk = max(1, _VEC_OVERLAP_BYTES // max(row_bytes, 1))
+    row_chunk = max(16, _VEC_MATRIX_ELEMS // max(n_values, 1))
+    idx = _np.arange(n_values, dtype=_np.int64)
+    for start in range(0, n_values, row_chunk):
+        stop = min(start + row_chunk, n_values)
+        li = lengths[start:stop, None]
+        maxlen = _np.maximum(li, lengths[None, :])
+        budget = (ratio * maxlen + _BUDGET_EPS).astype(_np.int64)
+        mask = _np.abs(li - lengths[None, :]) <= budget
+        mask &= idx[None, :] > idx[start:stop, None]  # upper triangle
+        passes += 1
+        rows, cols = _np.nonzero(mask)
+        if rows.size == 0:
+            continue
+        budgets = budget[rows, cols]
+        rows = rows + start
+        need = _np.maximum(sizes[rows], sizes[cols]) - budgets * q
+        keep = _np.ones(rows.size, dtype=bool)
+        check = _np.nonzero(need > 0)[0]
+        for lo in range(0, check.size, overlap_chunk):
+            sel = check[lo : lo + overlap_chunk]
+            overlap = packed_overlap(packed, rows[sel], cols[sel])
+            keep[sel] = overlap >= need[sel]
+            passes += 1
+        out_u.append(rows[keep])
+        out_v.append(cols[keep])
+        out_k.append(budgets[keep])
+    if not out_u:
+        empty = _np.zeros(0, dtype=_np.int64)
+        return empty, empty, empty, passes
+    return (
+        _np.concatenate(out_u),
+        _np.concatenate(out_v),
+        _np.concatenate(out_k),
+        passes,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -73,6 +73,9 @@ class _StringIndex:
         "_postings",
         "_raw_pairs",
         "settled",
+        "exact_edits",
+        "_gram_arrays",
+        "_char_arrays",
     )
 
     def __init__(self, values: Sequence[str], q: int) -> None:
@@ -89,6 +92,11 @@ class _StringIndex:
         self._raw_pairs: Dict[float, Tuple[Tuple[int, int], ...]] = {}
         #: settle verdicts ``lev(values[u], values[v]) <= k`` keyed (u, v, k)
         self.settled: Dict[Tuple[int, int, int], bool] = {}
+        #: exact edit counts keyed (min(u, v), max(u, v)); only values a
+        #: bounded kernel call proved exact are ever stored here
+        self.exact_edits: Dict[Tuple[int, int], int] = {}
+        self._gram_arrays: Optional[Tuple[Any, Any, Any, Any, Any]] = None
+        self._char_arrays: Optional[Tuple[Any, Any, Any]] = None
 
     def _ensure_grams(self) -> None:
         if self._profiles is not None:
@@ -183,6 +191,39 @@ class _StringIndex:
                 for gram in prefix_source[: k * q + 1]:
                     out.update(bucket.get(gram, ()))
         return sorted(out)
+
+
+    def gram_arrays(self) -> Tuple[Any, Any, Any, Any, Any]:
+        """Numpy encodings for the vectorized join, built lazily once.
+
+        Returns ``(indptr, gram_ids, packed, sizes, lengths)``: the CSR
+        and bit-packed q-gram matrices from
+        :func:`repro.index.qgram.gram_matrix` over the canonical
+        profiles, plus the canonical value lengths as an ``int64``
+        array. Requires numpy (the caller gates on availability).
+        """
+        if self._gram_arrays is None:
+            from repro.index.qgram import _np, gram_matrix
+
+            self._ensure_grams()
+            assert self._profiles is not None and _np is not None
+            indptr, gram_ids, packed, sizes = gram_matrix(self._profiles)
+            lengths = _np.asarray(self.lengths, dtype=_np.int64)
+            self._gram_arrays = (indptr, gram_ids, packed, sizes, lengths)
+        return self._gram_arrays
+
+    def char_arrays(self) -> Tuple[Any, Any, Any]:
+        """Character codes + Myers PEQ tables for the batched kernel.
+
+        Lazily built ``(codes, lengths, peq)`` from
+        :func:`repro.index.qgram.char_arrays` over the canonical values.
+        Requires numpy (the caller gates on availability).
+        """
+        if self._char_arrays is None:
+            from repro.index.qgram import char_arrays
+
+            self._char_arrays = char_arrays(self.values)
+        return self._char_arrays
 
 
 class _NumericIndex:
@@ -369,6 +410,134 @@ class AttributeIndexRegistry:
                 verdict = levenshtein(a, b, upper_bound=k) <= k
             entry.settled[key] = verdict
         return verdict
+
+    def bounded_edits_many(
+        self,
+        entry: _StringIndex,
+        lefts: Sequence[int],
+        rights: Sequence[int],
+        budgets: Sequence[int],
+    ) -> List[int]:
+        """Batched bounded edit distances between canonical value pairs.
+
+        Each result honours the kernel contract: exact iff it does not
+        exceed its budget. Under the Myers kernel (with numpy present)
+        misses run through :func:`repro.index.qgram.batched_myers` — the
+        bit-parallel column update as elementwise ``uint64`` ops over
+        the whole batch; pairs the one-word bitvector cannot hold (both
+        sides over 63 characters), other kernels, and numpy-absent runs
+        are grouped by left value and settled through one prepared
+        :meth:`PreparedKernel.compare_many` per group. Exact results are
+        cached in ``entry.exact_edits`` so the blocker settle and the
+        verify pass never re-run a kernel on the same distinct pair.
+        """
+        values = entry.values
+        edits_cache = entry.exact_edits
+        settled = entry.settled
+        out: List[int] = [0] * len(lefts)
+        miss: List[int] = []
+        for pos in range(len(lefts)):
+            u, v = lefts[pos], rights[pos]
+            cached = edits_cache.get((u, v) if u < v else (v, u))
+            if cached is not None:
+                out[pos] = cached
+            else:
+                miss.append(pos)
+        if not miss:
+            return out
+        use_myers = default_kernel() == "myers"
+        if use_myers:
+            from repro.index.qgram import _np, batched_myers
+
+            if _np is not None:
+                codes, lengths, peq = entry.char_arrays()
+                batch = batched_myers(
+                    codes,
+                    lengths,
+                    peq,
+                    _np.fromiter(
+                        (lefts[p] for p in miss), _np.int64, count=len(miss)
+                    ),
+                    _np.fromiter(
+                        (rights[p] for p in miss), _np.int64, count=len(miss)
+                    ),
+                )
+                remaining: List[int] = []
+                for pos, edits in zip(miss, batch.tolist()):
+                    if edits < 0:  # too wide for one word; scalar below
+                        remaining.append(pos)
+                        continue
+                    out[pos] = edits
+                    u, v, k = lefts[pos], rights[pos], budgets[pos]
+                    settled[(u, v, k)] = edits <= k
+                    # batched distances are unconditionally exact
+                    edits_cache[(u, v) if u < v else (v, u)] = edits
+                self.kernel_calls += len(miss) - len(remaining)
+                miss = remaining
+        pending: Dict[int, List[int]] = {}
+        for pos in miss:
+            pending.setdefault(lefts[pos], []).append(pos)
+        for u, positions in pending.items():
+            self.kernel_calls += len(positions)
+            if use_myers:
+                results = self.prepared_kernel(values[u]).compare_many(
+                    [values[rights[p]] for p in positions],
+                    [budgets[p] for p in positions],
+                )
+            else:
+                results = [
+                    levenshtein(
+                        values[u], values[rights[p]], upper_bound=budgets[p]
+                    )
+                    for p in positions
+                ]
+            for p, edits in zip(positions, results):
+                out[p] = edits
+                v, k = rights[p], budgets[p]
+                verdict = edits <= k
+                settled[(u, v, k)] = verdict
+                if verdict:
+                    edits_cache[(u, v) if u < v else (v, u)] = edits
+        return out
+
+    def settle_many(
+        self,
+        entry: _StringIndex,
+        lefts: Sequence[int],
+        rights: Sequence[int],
+        budgets: Sequence[int],
+    ) -> List[bool]:
+        """Batched :meth:`_settle`: ``lev(values[u], values[v]) <= k`` per pair.
+
+        Probes the verdict and exact-edit caches first, then routes the
+        misses through :meth:`bounded_edits_many`.
+        """
+        out: List[bool] = [False] * len(lefts)
+        settled = entry.settled
+        edits_cache = entry.exact_edits
+        miss: List[int] = []
+        for pos in range(len(lefts)):
+            u, v, k = lefts[pos], rights[pos], budgets[pos]
+            verdict = settled.get((u, v, k))
+            if verdict is None:
+                edits = edits_cache.get((u, v) if u < v else (v, u))
+                if edits is not None:
+                    verdict = edits <= k
+                    settled[(u, v, k)] = verdict
+            if verdict is None:
+                miss.append(pos)
+            else:
+                out[pos] = verdict
+        if miss:
+            edits_batch = self.bounded_edits_many(
+                entry,
+                [lefts[p] for p in miss],
+                [rights[p] for p in miss],
+                [budgets[p] for p in miss],
+            )
+            for p, edits in zip(miss, edits_batch):
+                out[p] = edits <= budgets[p]
+        return out
 
     def qgram_value_pairs(
         self,
